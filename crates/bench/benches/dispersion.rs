@@ -1,0 +1,43 @@
+//! Criterion bench for the Figure 2 index-of-dispersion estimator (the
+//! per-measurement cost of the methodology) and its ablation over stopping
+//! tolerances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use burstcap_stats::dispersion::DispersionEstimator;
+
+fn synthetic_windows(n: usize) -> (Vec<f64>, Vec<u64>) {
+    // Regime-switching counts resembling a bursty tier.
+    let mut util = Vec::with_capacity(n);
+    let mut counts = Vec::with_capacity(n);
+    for k in 0..n {
+        let bursty = (k / 40) % 2 == 0;
+        util.push(if bursty { 0.95 } else { 0.55 });
+        counts.push(if bursty { 60 } else { 260 });
+    }
+    (util, counts)
+}
+
+fn bench(c: &mut Criterion) {
+    let (util, counts) = synthetic_windows(720);
+    let mut group = c.benchmark_group("dispersion");
+    for tol in [0.05, 0.2, 0.5] {
+        group.bench_with_input(BenchmarkId::new("estimate_720w_tol", format!("{tol}")), &tol, |b, &tol| {
+            b.iter(|| {
+                DispersionEstimator::new(5.0)
+                    .tolerance(tol)
+                    .estimate(black_box(&util), black_box(&counts))
+                    .expect("estimates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the Figure 1 pipeline: trace generation, burstiness
+//! imposition, and index-of-dispersion measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use burstcap_map::trace::{balanced_p_small, hyperexp_trace, impose_burstiness, BurstProfile};
+use burstcap_stats::dispersion::index_of_dispersion_counting;
+
+fn bench(c: &mut Criterion) {
+    let base = hyperexp_trace(20_000, 1.0, 3.0, 1).expect("valid marginal");
+    let p_small = balanced_p_small(3.0).expect("valid scv");
+
+    c.bench_function("fig01/generate_20k_trace", |b| {
+        b.iter(|| hyperexp_trace(black_box(20_000), 1.0, 3.0, 1).expect("valid"))
+    });
+    c.bench_function("fig01/impose_modulated_burstiness", |b| {
+        b.iter(|| {
+            impose_burstiness(
+                black_box(&base),
+                BurstProfile::Modulated { p_small, gamma: 0.995 },
+                1,
+            )
+            .expect("valid")
+        })
+    });
+    c.bench_function("fig01/measure_dispersion", |b| {
+        b.iter(|| index_of_dispersion_counting(black_box(&base), 30.0, 0.2).expect("converges"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

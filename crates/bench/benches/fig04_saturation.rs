@@ -1,0 +1,29 @@
+//! Criterion bench for the Figure 4 experiment: one testbed sweep point per
+//! mix (reduced duration so the bench stays fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use burstcap_bench::run_testbed;
+use burstcap_tpcw::mix::Mix;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04");
+    for mix in Mix::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("testbed_100ebs_120s", mix.name()),
+            &mix,
+            |b, &mix| {
+                b.iter(|| run_testbed(black_box(mix), 100, 120.0, 1).expect("runs"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Figure 10 baseline: exact MVA solution cost
+//! across the EB sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use burstcap_qn::mva::ClosedMva;
+
+fn bench(c: &mut Criterion) {
+    let mva = ClosedMva::new(vec![0.0052, 0.0042], 0.5).expect("valid");
+    let mut group = c.benchmark_group("fig10");
+    for &pop in &[25usize, 150, 1000] {
+        group.bench_with_input(BenchmarkId::new("mva_exact", pop), &pop, |b, &pop| {
+            b.iter(|| black_box(&mva).solve(pop).expect("solves"))
+        });
+    }
+    group.bench_function("mva_schweitzer_pop1000", |b| {
+        b.iter(|| black_box(&mva).solve_schweitzer(1000).expect("converges"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for the Figure 11 pipeline: full characterize + fit from
+//! a monitoring trace at each estimation granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use burstcap::measurements::TierMeasurements;
+use burstcap::planner::CapacityPlanner;
+use burstcap_bench::experiments::tier_measurements;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::TierId;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+fn collect(z_estim: f64) -> (TierMeasurements, TierMeasurements) {
+    let run = Testbed::new(
+        TestbedConfig::new(Mix::Browsing, 50)
+            .think_time(z_estim)
+            .duration(900.0)
+            .seed(5),
+    )
+    .expect("valid")
+    .run()
+    .expect("runs");
+    (
+        tier_measurements(&run, TierId::Front).expect("front"),
+        tier_measurements(&run, TierId::Db).expect("db"),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    for &z in &[0.5, 7.0] {
+        let (front, db) = collect(z);
+        group.bench_with_input(
+            BenchmarkId::new("characterize_and_fit_zestim", format!("{z}")),
+            &z,
+            |b, _| {
+                b.iter(|| {
+                    CapacityPlanner::from_measurements(black_box(&front), black_box(&db))
+                        .expect("plans")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

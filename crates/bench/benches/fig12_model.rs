@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 12 prediction step: one exact MAP-QN
+//! solve per sweep population with realistic fitted processes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use burstcap_map::fit::Map2Fitter;
+use burstcap_qn::mapqn::MapNetwork;
+
+fn bench(c: &mut Criterion) {
+    // Descriptors in the range the browsing-mix estimation produces.
+    let front = Map2Fitter::new(0.0051, 2.0, 0.0125).fit().expect("feasible").map();
+    let db = Map2Fitter::new(0.0042, 59.0, 0.0115).fit().expect("feasible").map();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for &pop in &[25usize, 75, 150] {
+        group.bench_with_input(BenchmarkId::new("mapqn_solve", pop), &pop, |b, &pop| {
+            let net = MapNetwork::new(pop, 0.5, front, db).expect("valid");
+            b.iter(|| black_box(&net).solve().expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Section 4.1 MAP(2) fitting search, including a
+//! denser-grid ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use burstcap_map::fit::Map2Fitter;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_fitting");
+    for &i in &[3.0, 40.0, 308.0] {
+        group.bench_with_input(BenchmarkId::new("fit_target_i", i as u64), &i, |b, &i| {
+            b.iter(|| {
+                Map2Fitter::new(black_box(0.005), black_box(i), black_box(0.015))
+                    .fit()
+                    .expect("feasible")
+            })
+        });
+    }
+    // Ablation: a denser candidate grid (finer p95 selection) vs the default.
+    group.bench_function("fit_dense_grid", |b| {
+        b.iter(|| {
+            Map2Fitter::new(0.005, 100.0, 0.015)
+                .scv_grid_size(32)
+                .p_grid_size(24)
+                .fit()
+                .expect("feasible")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

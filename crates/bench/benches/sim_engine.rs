@@ -1,0 +1,43 @@
+//! Criterion bench for the discrete-event substrate: raw event-calendar
+//! throughput and full testbed simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use burstcap_sim::engine::EventQueue;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("engine/schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut t = 1.0_f64;
+            for k in 0..100_000u64 {
+                // Pseudo-random but deterministic times.
+                t = (t * 1103515245.0 + k as f64) % 1000.0;
+                q.schedule(t, k);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    c.bench_function("testbed/browsing_100ebs_150s", |b| {
+        b.iter(|| {
+            Testbed::new(TestbedConfig::new(Mix::Browsing, 100).duration(150.0).seed(1))
+                .expect("valid")
+                .run()
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Table 1: the M/Trace/1 Lindley-recursion simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use burstcap_map::trace::{hyperexp_trace, impose_burstiness, BurstProfile};
+use burstcap_sim::queues::MTrace1;
+
+fn bench(c: &mut Criterion) {
+    let base = hyperexp_trace(20_000, 1.0, 3.0, 1).expect("valid marginal");
+    let sorted = impose_burstiness(&base, BurstProfile::Sorted, 1).expect("valid");
+
+    c.bench_function("table1/mtrace1_iid_rho05", |b| {
+        b.iter(|| {
+            MTrace1::new(0.5, black_box(base.clone()))
+                .expect("valid")
+                .run(7)
+                .expect("runs")
+        })
+    });
+    c.bench_function("table1/mtrace1_sorted_rho08", |b| {
+        b.iter(|| {
+            MTrace1::new(0.8, black_box(sorted.clone()))
+                .expect("valid")
+                .run(7)
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Ablation studies for the design choices called out in `DESIGN.md` §5:
+//!
+//! 1. Figure 2 stopping tolerance vs the stability of the `I` estimate;
+//! 2. MAP(2) candidate selection: closest-p95 (the paper's rule) vs
+//!    largest-rho1-only;
+//! 3. contention disabled: the testbed without its burstiness source
+//!    (every mix becomes MVA-friendly).
+
+use burstcap_bench::{header, BASE_SEED};
+use burstcap_map::fit::Map2Fitter;
+use burstcap_stats::dispersion::DispersionEstimator;
+use burstcap_tpcw::contention::ContentionConfig;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::TierId;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+fn main() {
+    ablation_tolerance();
+    ablation_selection();
+    ablation_contention_off();
+}
+
+/// How sensitive is the Figure 2 estimate to the stopping tolerance?
+fn ablation_tolerance() {
+    header("Ablation 1: Figure 2 stopping tolerance (browsing DB trace)");
+    let run = Testbed::new(
+        TestbedConfig::new(Mix::Browsing, 50)
+            .think_time(7.0)
+            .duration(3600.0)
+            .seed(BASE_SEED),
+    )
+    .expect("valid")
+    .run()
+    .expect("runs");
+    let m = run.monitoring(TierId::Db).expect("monitoring");
+    println!("{:>10} {:>12} {:>12} {:>10}", "tol", "I", "levels", "converged");
+    for tol in [0.5, 0.2, 0.1, 0.05, 0.02, 0.01] {
+        let est = DispersionEstimator::new(m.resolution)
+            .tolerance(tol)
+            .estimate(&m.utilization, &m.completions)
+            .expect("estimates");
+        println!(
+            "{tol:>10} {:>12.1} {:>12} {:>10}",
+            est.index_of_dispersion(),
+            est.curve().len(),
+            est.converged()
+        );
+    }
+    println!(
+        "(the stopping rule latches onto plateaus of the noisy Y(t) curve: the\n\
+        \x20estimate is tolerance-sensitive within a factor ~3, motivating the\n\
+        \x20paper's +-20% fitting band downstream)"
+    );
+}
+
+/// Does the closest-p95 selection rule matter, or would largest-rho1 do?
+fn ablation_selection() {
+    header("Ablation 2: candidate selection rule (mean 1, I = 100)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>10}",
+        "p95*", "p95(closest)", "p95(max-rho1)", "scv(c)", "scv(r)"
+    );
+    for p95_target in [1.5, 2.5, 3.5, 4.5] {
+        let fitted = Map2Fitter::new(1.0, 100.0, p95_target).fit().expect("feasible");
+        let closest = fitted.chosen();
+        // The alternative rule: among the tolerance band, take max rho1
+        // regardless of p95 (candidates are sorted by p95 distance).
+        let by_rho1 = fitted
+            .candidates()
+            .iter()
+            .max_by(|a, b| a.rho1.partial_cmp(&b.rho1).expect("finite"))
+            .expect("non-empty");
+        println!(
+            "{p95_target:>8} {:>14.2} {:>14.2} {:>10.1} {:>10.1}",
+            closest.achieved_p95, by_rho1.achieved_p95, closest.scv, by_rho1.scv
+        );
+    }
+    println!("(rho1-only ignores the tail target entirely: the p95 column drifts)");
+}
+
+/// Remove the contention source: burstiness disappears and every mix becomes
+/// well-predicted by plain MVA — evidence the testbed's misbehaviour is
+/// caused by the injected mechanism, not an artifact.
+fn ablation_contention_off() {
+    header("Ablation 3: contention disabled (browsing mix)");
+    println!("{:>6} {:>12} {:>12} {:>10} {:>10}", "EBs", "TPUT(on)", "TPUT(off)", "Udb(on)", "Udb(off)");
+    for (k, ebs) in [50usize, 100, 150].into_iter().enumerate() {
+        let on = Testbed::new(
+            TestbedConfig::new(Mix::Browsing, ebs).duration(600.0).seed(BASE_SEED + k as u64),
+        )
+        .expect("valid")
+        .run()
+        .expect("runs");
+        let off = Testbed::new(
+            TestbedConfig::new(Mix::Browsing, ebs)
+                .duration(600.0)
+                .seed(BASE_SEED + k as u64)
+                .contention(ContentionConfig::disabled()),
+        )
+        .expect("valid")
+        .run()
+        .expect("runs");
+        println!(
+            "{ebs:>6} {:>12.1} {:>12.1} {:>9.1}% {:>9.1}%",
+            on.throughput,
+            off.throughput,
+            on.mean_utilization(TierId::Db) * 100.0,
+            off.mean_utilization(TierId::Db) * 100.0,
+        );
+    }
+    println!("(without contention the browsing mix behaves like the ordering mix)");
+}

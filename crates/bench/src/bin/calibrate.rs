@@ -1,0 +1,61 @@
+//! Calibration probe: per-mix saturation behaviour of the testbed.
+//!
+//! Not tied to a paper figure; prints the quantities used to check that the
+//! simulated testbed reproduces the paper's qualitative symptoms before the
+//! per-figure experiments run.
+
+use burstcap_bench::{f1, f2, header, pct, row, run_testbed, BASE_SEED, EB_SWEEP};
+use burstcap_stats::bottleneck::BottleneckDetector;
+use burstcap_stats::dispersion::DispersionEstimator;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::TierId;
+
+fn main() {
+    let duration = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(300.0);
+    for mix in Mix::ALL {
+        header(&format!(
+            "{mix} mix (D_fs = {:.2} ms, D_db = {:.2} ms uncontended)",
+            mix.mean_front_demand() * 1e3,
+            mix.mean_db_demand() * 1e3
+        ));
+        println!(
+            "{}",
+            row(
+                "EBs",
+                &["TPUT".into(), "U_fs".into(), "U_db".into(), "switch".into(),
+                  "I_fs".into(), "I_db".into(), "cont_s".into()],
+            )
+        );
+        for (k, &ebs) in EB_SWEEP.iter().enumerate() {
+            let run = run_testbed(mix, ebs, duration, BASE_SEED + k as u64).expect("testbed run");
+            let report = BottleneckDetector::new()
+                .analyze(&run.fs_util, &run.db_util)
+                .expect("paired util series");
+            let i_of = |tier| -> f64 {
+                let m = run.monitoring(tier).expect("monitoring series");
+                DispersionEstimator::new(m.resolution)
+                    .estimate(&m.utilization, &m.completions)
+                    .map(|e| e.index_of_dispersion())
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "{}",
+                row(
+                    &format!("{ebs}"),
+                    &[
+                        f1(run.throughput),
+                        pct(run.mean_utilization(TierId::Front)),
+                        pct(run.mean_utilization(TierId::Db)),
+                        format!("{}", report.has_switch(0.1)),
+                        f2(i_of(TierId::Front)),
+                        f2(i_of(TierId::Db)),
+                        f1(run.contended_seconds),
+                    ],
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates one table/figure of the paper; see `burstcap_bench::figures`.
+
+fn main() {
+    print!("{}", burstcap_bench::figures::fig11(burstcap_bench::experiments::MEASURE_DURATION));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (model vs MVA vs measured for all mixes); see
+//! `burstcap_bench::figures::fig12`.
+
+fn main() {
+    print!("{}", burstcap_bench::figures::fig12(burstcap_bench::experiments::MEASURE_DURATION));
+}

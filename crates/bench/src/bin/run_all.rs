@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the paper in one run, in paper
+//! order. Output is the "measured" side of `EXPERIMENTS.md`.
+
+use burstcap_bench::experiments::MEASURE_DURATION;
+use burstcap_bench::figures;
+
+fn main() {
+    let banner = |s: &str| println!("\n{}\n{s}\n{}", "=".repeat(72), "=".repeat(72));
+    banner("Figure 1 - burstiness profiles");
+    print!("{}", figures::fig01());
+    banner("Table 1 - M/Trace/1 response times");
+    print!("{}", figures::table1());
+    banner("Tables 2-3 - environment");
+    print!("{}", figures::environment());
+    banner("Figure 4 - saturation sweeps");
+    print!("{}", figures::fig04(MEASURE_DURATION));
+    banner("Figure 5 - bottleneck switch timelines");
+    print!("{}", figures::fig05(360.0));
+    banner("Figure 6 - DB queue bursts");
+    print!("{}", figures::fig06(360.0));
+    banner("Figures 7-8 - per-transaction attribution");
+    print!("{}", figures::fig07_08(360.0));
+    banner("Figure 10 - MVA vs measured");
+    print!("{}", figures::fig10(MEASURE_DURATION));
+    banner("Figure 11 - Z_estim granularity study");
+    print!("{}", figures::fig11(MEASURE_DURATION));
+    banner("Figure 12 - model vs MVA vs measured");
+    print!("{}", figures::fig12(MEASURE_DURATION));
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use burstcap_map::MapError;
+use burstcap_qn::QnError;
+use burstcap_stats::StatsError;
+
+/// Errors produced by the capacity-planning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// A measurement series is malformed.
+    InvalidMeasurements {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A statistics estimator failed (trace too short, degenerate input...).
+    Estimation(StatsError),
+    /// MAP(2) fitting failed.
+    Fitting(MapError),
+    /// The analytic model could not be solved.
+    Solving(QnError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::InvalidMeasurements { reason } => {
+                write!(f, "invalid measurements: {reason}")
+            }
+            PlanError::Estimation(e) => write!(f, "estimation failed: {e}"),
+            PlanError::Fitting(e) => write!(f, "MAP fitting failed: {e}"),
+            PlanError::Solving(e) => write!(f, "model solution failed: {e}"),
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::InvalidMeasurements { .. } => None,
+            PlanError::Estimation(e) => Some(e),
+            PlanError::Fitting(e) => Some(e),
+            PlanError::Solving(e) => Some(e),
+        }
+    }
+}
+
+impl From<StatsError> for PlanError {
+    fn from(e: StatsError) -> Self {
+        PlanError::Estimation(e)
+    }
+}
+
+impl From<MapError> for PlanError {
+    fn from(e: MapError) -> Self {
+        PlanError::Fitting(e)
+    }
+}
+
+impl From<QnError> for PlanError {
+    fn from(e: QnError) -> Self {
+        PlanError::Solving(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_preserved() {
+        let e = PlanError::from(StatsError::TraceTooShort { got: 1, needed: 100 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("estimation"));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<PlanError>();
+    }
+}

@@ -1,0 +1,119 @@
+//! Monitoring-data schema: what commodity tools actually give you.
+//!
+//! The methodology deliberately consumes only two per-tier series, both
+//! cheap and non-intrusive to collect (paper, Sections 2.2 and 3.1):
+//! per-window CPU utilization (`sar`) and per-window completed request
+//! counts (HP Diagnostics). [`TierMeasurements`] is that pair plus its
+//! window length.
+
+use serde::{Deserialize, Serialize};
+
+use crate::PlanError;
+
+/// Paired `(U_k, n_k)` monitoring series for one tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierMeasurements {
+    resolution: f64,
+    utilization: Vec<f64>,
+    completions: Vec<u64>,
+}
+
+impl TierMeasurements {
+    /// Create a measurement series.
+    ///
+    /// # Errors
+    /// Rejects non-positive resolutions, mismatched lengths, utilizations
+    /// outside `[0, 1]`, and empty series.
+    pub fn new(
+        resolution: f64,
+        utilization: Vec<f64>,
+        completions: Vec<u64>,
+    ) -> Result<Self, PlanError> {
+        if resolution <= 0.0 || !resolution.is_finite() {
+            return Err(PlanError::InvalidMeasurements {
+                reason: format!("resolution must be positive, got {resolution}"),
+            });
+        }
+        if utilization.len() != completions.len() {
+            return Err(PlanError::InvalidMeasurements {
+                reason: format!(
+                    "series length mismatch: {} utilization vs {} completion windows",
+                    utilization.len(),
+                    completions.len()
+                ),
+            });
+        }
+        if utilization.is_empty() {
+            return Err(PlanError::InvalidMeasurements { reason: "empty series".into() });
+        }
+        if let Some(bad) = utilization.iter().find(|u| !(0.0..=1.0).contains(*u) || u.is_nan()) {
+            return Err(PlanError::InvalidMeasurements {
+                reason: format!("utilization sample {bad} outside [0, 1]"),
+            });
+        }
+        Ok(TierMeasurements { resolution, utilization, completions })
+    }
+
+    /// Window length in seconds.
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Utilization samples.
+    pub fn utilization(&self) -> &[f64] {
+        &self.utilization
+    }
+
+    /// Completion counts.
+    pub fn completions(&self) -> &[u64] {
+        &self.completions
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.utilization.len()
+    }
+
+    /// Whether the series is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.utilization.is_empty()
+    }
+
+    /// Mean utilization over the series.
+    pub fn mean_utilization(&self) -> f64 {
+        self.utilization.iter().sum::<f64>() / self.utilization.len() as f64
+    }
+
+    /// Total completions over the series.
+    pub fn total_completions(&self) -> u64 {
+        self.completions.iter().sum()
+    }
+
+    /// Observed throughput (completions per second).
+    pub fn throughput(&self) -> f64 {
+        self.total_completions() as f64 / (self.resolution * self.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_series_accepted() {
+        let m = TierMeasurements::new(5.0, vec![0.5, 0.6], vec![10, 12]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m.mean_utilization() - 0.55).abs() < 1e-12);
+        assert_eq!(m.total_completions(), 22);
+        assert!((m.throughput() - 2.2).abs() < 1e-12);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn invalid_series_rejected() {
+        assert!(TierMeasurements::new(0.0, vec![0.5], vec![1]).is_err());
+        assert!(TierMeasurements::new(5.0, vec![0.5], vec![1, 2]).is_err());
+        assert!(TierMeasurements::new(5.0, vec![], vec![]).is_err());
+        assert!(TierMeasurements::new(5.0, vec![1.5], vec![1]).is_err());
+    }
+}

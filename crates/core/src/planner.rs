@@ -1,0 +1,364 @@
+//! The capacity planner: measurements in, throughput predictions out.
+//!
+//! [`CapacityPlanner`] is the paper's proposed model: characterize each
+//! tier (mean, `I`, p95), fit a MAP(2) per tier with the Section 4.1 search,
+//! and solve the closed MAP queueing network of Figure 9 exactly for any
+//! what-if population. [`MvaBaseline`] is the Section 3.4 strawman — the
+//! same network parameterized by mean demands only — whose failure under
+//! bottleneck switch motivates the methodology.
+//!
+//! The think time used for *prediction* (`Z_qn`) is deliberately decoupled
+//! from whatever think time generated the measurements (`Z_estim`): Section
+//! 4.2 shows that measuring with a larger `Z_estim` (fewer completions per
+//! monitoring window, i.e. finer granularity) improves the MAP fit without
+//! touching the model's own think time.
+
+use serde::{Deserialize, Serialize};
+
+use burstcap_map::fit::{FittedMap2, Map2Fitter};
+use burstcap_qn::mapqn::{MapNetwork, MapQnSolution};
+use burstcap_qn::mva::ClosedMva;
+
+use crate::characterize::{characterize, CharacterizeOptions, ServiceCharacterization};
+use crate::measurements::TierMeasurements;
+use crate::PlanError;
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerOptions {
+    /// Characterization knobs (Figure 2 tolerance etc.).
+    pub characterize: CharacterizeOptions,
+    /// Relative tolerance on the fitted index of dispersion (paper: ±20%).
+    pub i_tolerance: f64,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions { characterize: CharacterizeOptions::default(), i_tolerance: 0.2 }
+    }
+}
+
+/// A throughput prediction for one population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Target number of emulated browsers (customers).
+    pub population: usize,
+    /// Predicted system throughput (requests/second).
+    pub throughput: f64,
+    /// Predicted front-tier utilization.
+    pub utilization_front: f64,
+    /// Predicted database utilization.
+    pub utilization_db: f64,
+    /// Predicted mean response time per request (seconds).
+    pub response_time: f64,
+}
+
+impl From<(usize, MapQnSolution)> for Prediction {
+    fn from((population, s): (usize, MapQnSolution)) -> Self {
+        Prediction {
+            population,
+            throughput: s.throughput,
+            utilization_front: s.utilization_front,
+            utilization_db: s.utilization_db,
+            response_time: s.response_time,
+        }
+    }
+}
+
+/// The burstiness-aware planner (the paper's "Model").
+#[derive(Debug, Clone)]
+pub struct CapacityPlanner {
+    front: ServiceCharacterization,
+    db: ServiceCharacterization,
+    front_fit: FittedMap2,
+    db_fit: FittedMap2,
+}
+
+impl CapacityPlanner {
+    /// Build a planner from per-tier monitoring series using default
+    /// options.
+    ///
+    /// # Errors
+    /// Propagates characterization and fitting failures.
+    pub fn from_measurements(
+        front: &TierMeasurements,
+        db: &TierMeasurements,
+    ) -> Result<Self, PlanError> {
+        Self::with_options(front, db, PlannerOptions::default())
+    }
+
+    /// Build a planner with explicit options.
+    ///
+    /// # Errors
+    /// Propagates characterization and fitting failures.
+    pub fn with_options(
+        front: &TierMeasurements,
+        db: &TierMeasurements,
+        options: PlannerOptions,
+    ) -> Result<Self, PlanError> {
+        let front_char = characterize(front, options.characterize)?;
+        let db_char = characterize(db, options.characterize)?;
+        let front_fit = fit_tier(&front_char, options.i_tolerance)?;
+        let db_fit = fit_tier(&db_char, options.i_tolerance)?;
+        Ok(CapacityPlanner { front: front_char, db: db_char, front_fit, db_fit })
+    }
+
+    /// Build a planner directly from known per-tier characterizations
+    /// (useful for what-if studies without raw measurements).
+    ///
+    /// # Errors
+    /// Propagates fitting failures.
+    pub fn from_characterizations(
+        front: ServiceCharacterization,
+        db: ServiceCharacterization,
+        options: PlannerOptions,
+    ) -> Result<Self, PlanError> {
+        let front_fit = fit_tier(&front, options.i_tolerance)?;
+        let db_fit = fit_tier(&db, options.i_tolerance)?;
+        Ok(CapacityPlanner { front, db, front_fit, db_fit })
+    }
+
+    /// The front tier's measured descriptors.
+    pub fn front_characterization(&self) -> &ServiceCharacterization {
+        &self.front
+    }
+
+    /// The database tier's measured descriptors.
+    pub fn db_characterization(&self) -> &ServiceCharacterization {
+        &self.db
+    }
+
+    /// The fitted front-tier MAP(2) with diagnostics.
+    pub fn front_fit(&self) -> &FittedMap2 {
+        &self.front_fit
+    }
+
+    /// The fitted database MAP(2) with diagnostics.
+    pub fn db_fit(&self) -> &FittedMap2 {
+        &self.db_fit
+    }
+
+    /// Predict performance at `population` customers with think time
+    /// `think_time` (the model's `Z_qn`).
+    ///
+    /// # Errors
+    /// Propagates model-solution failures.
+    pub fn predict(&self, population: usize, think_time: f64) -> Result<Prediction, PlanError> {
+        let net = MapNetwork::new(
+            population,
+            think_time,
+            self.front_fit.map(),
+            self.db_fit.map(),
+        )?;
+        Ok((population, net.solve()?).into())
+    }
+
+    /// Predict a whole population sweep.
+    ///
+    /// # Errors
+    /// Propagates the first per-population failure.
+    pub fn predict_sweep(
+        &self,
+        populations: &[usize],
+        think_time: f64,
+    ) -> Result<Vec<Prediction>, PlanError> {
+        populations.iter().map(|&n| self.predict(n, think_time)).collect()
+    }
+}
+
+fn fit_tier(c: &ServiceCharacterization, i_tolerance: f64) -> Result<FittedMap2, PlanError> {
+    // Clamp targets into the feasible domain of two-phase processes: the
+    // estimators can produce I slightly below 1/2 on nearly deterministic
+    // tiers, where burstiness is irrelevant anyway.
+    let i = c.index_of_dispersion.max(0.51);
+    let p95 = c.p95_service_time.max(c.mean_service_time * 1.05);
+    Ok(Map2Fitter::new(c.mean_service_time, i, p95).i_tolerance(i_tolerance).fit()?)
+}
+
+/// The Section 3.4 baseline: plain MVA on mean demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvaBaseline {
+    front_demand: f64,
+    db_demand: f64,
+}
+
+impl MvaBaseline {
+    /// Estimate mean demands from the same monitoring series the planner
+    /// uses (utilization-law regression).
+    ///
+    /// # Errors
+    /// Propagates regression failures.
+    pub fn from_measurements(
+        front: &TierMeasurements,
+        db: &TierMeasurements,
+    ) -> Result<Self, PlanError> {
+        let f = burstcap_stats::regression::estimate_demand(
+            front.utilization(),
+            front.completions(),
+            front.resolution(),
+        )?;
+        let d = burstcap_stats::regression::estimate_demand(
+            db.utilization(),
+            db.completions(),
+            db.resolution(),
+        )?;
+        Ok(MvaBaseline { front_demand: f.mean_service_time, db_demand: d.mean_service_time })
+    }
+
+    /// Build from known mean demands.
+    ///
+    /// # Errors
+    /// Rejects non-positive demands.
+    pub fn from_demands(front_demand: f64, db_demand: f64) -> Result<Self, PlanError> {
+        if front_demand <= 0.0 || db_demand <= 0.0 {
+            return Err(PlanError::InvalidMeasurements {
+                reason: "demands must be positive".into(),
+            });
+        }
+        Ok(MvaBaseline { front_demand, db_demand })
+    }
+
+    /// The front demand used by the baseline.
+    pub fn front_demand(&self) -> f64 {
+        self.front_demand
+    }
+
+    /// The database demand used by the baseline.
+    pub fn db_demand(&self) -> f64 {
+        self.db_demand
+    }
+
+    /// Exact MVA prediction at `population` customers.
+    ///
+    /// # Errors
+    /// Propagates solver parameter errors.
+    pub fn predict(&self, population: usize, think_time: f64) -> Result<Prediction, PlanError> {
+        let mva = ClosedMva::new(vec![self.front_demand, self.db_demand], think_time)?;
+        let s = mva.solve(population)?;
+        Ok(Prediction {
+            population,
+            throughput: s.throughput,
+            utilization_front: s.utilization[0],
+            utilization_db: s.utilization[1],
+            response_time: s.response_time,
+        })
+    }
+
+    /// Predict a whole population sweep.
+    ///
+    /// # Errors
+    /// Propagates the first per-population failure.
+    pub fn predict_sweep(
+        &self,
+        populations: &[usize],
+        think_time: f64,
+    ) -> Result<Vec<Prediction>, PlanError> {
+        populations.iter().map(|&n| self.predict(n, think_time)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic steady measurements: utilization u, n completions/window.
+    fn steady(u: f64, n: u64) -> TierMeasurements {
+        TierMeasurements::new(5.0, vec![u; 300], vec![n; 300]).unwrap()
+    }
+
+    /// Bursty measurements: alternating regimes of fast and slow windows
+    /// with matching utilization so the regression stays consistent.
+    fn bursty(base_n: u64) -> TierMeasurements {
+        let mut util = Vec::new();
+        let mut n = Vec::new();
+        for block in 0..30 {
+            for _ in 0..10 {
+                if block % 2 == 0 {
+                    util.push(0.9);
+                    n.push(base_n / 4);
+                } else {
+                    util.push(0.9);
+                    n.push(base_n);
+                }
+            }
+        }
+        TierMeasurements::new(5.0, util, n).unwrap()
+    }
+
+    #[test]
+    fn planner_from_steady_measurements() {
+        let front = steady(0.5, 250); // S_f = 10 ms
+        let db = steady(0.25, 250); // S_d = 5 ms
+        let planner = CapacityPlanner::from_measurements(&front, &db).unwrap();
+        assert!((planner.front_characterization().mean_service_time - 0.01).abs() < 1e-9);
+        assert!((planner.db_characterization().mean_service_time - 0.005).abs() < 1e-9);
+        let p = planner.predict(30, 0.5).unwrap();
+        assert!(p.throughput > 0.0 && p.throughput <= 100.0);
+    }
+
+    #[test]
+    fn planner_and_mva_agree_for_low_burstiness() {
+        let front = steady(0.5, 250);
+        let db = steady(0.25, 250);
+        let planner = CapacityPlanner::from_measurements(&front, &db).unwrap();
+        let mva = MvaBaseline::from_measurements(&front, &db).unwrap();
+        for n in [5, 25, 60] {
+            let a = planner.predict(n, 0.5).unwrap().throughput;
+            let b = mva.predict(n, 0.5).unwrap().throughput;
+            assert!(
+                (a - b).abs() / b < 0.08,
+                "N={n}: planner {a} vs mva {b} — low-I targets should nearly coincide"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_db_lowers_prediction_vs_mva() {
+        let front = steady(0.5, 250);
+        let db = bursty(250);
+        let planner = CapacityPlanner::from_measurements(&front, &db).unwrap();
+        let mva = MvaBaseline::from_measurements(&front, &db).unwrap();
+        assert!(
+            planner.db_characterization().index_of_dispersion > 10.0,
+            "I_db = {}",
+            planner.db_characterization().index_of_dispersion
+        );
+        let n = 60;
+        let a = planner.predict(n, 0.5).unwrap().throughput;
+        let b = mva.predict(n, 0.5).unwrap().throughput;
+        assert!(a < b, "burst-aware prediction {a} must be below MVA {b}");
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let planner =
+            CapacityPlanner::from_measurements(&steady(0.5, 250), &bursty(250)).unwrap();
+        let sweep = planner.predict_sweep(&[5, 15, 30], 0.5).unwrap();
+        assert!(sweep.windows(2).all(|w| w[1].throughput >= w[0].throughput - 1e-9));
+    }
+
+    #[test]
+    fn mva_baseline_validation() {
+        assert!(MvaBaseline::from_demands(0.0, 0.1).is_err());
+        let b = MvaBaseline::from_demands(0.01, 0.005).unwrap();
+        assert_eq!(b.front_demand(), 0.01);
+        let p = b.predict(100, 0.5).unwrap();
+        assert!(p.throughput <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn characterizations_roundtrip_through_planner() {
+        let front = steady(0.5, 250);
+        let db = bursty(250);
+        let p1 = CapacityPlanner::from_measurements(&front, &db).unwrap();
+        let p2 = CapacityPlanner::from_characterizations(
+            p1.front_characterization().clone(),
+            p1.db_characterization().clone(),
+            PlannerOptions::default(),
+        )
+        .unwrap();
+        let a = p1.predict(20, 0.5).unwrap().throughput;
+        let b = p2.predict(20, 0.5).unwrap().throughput;
+        assert!((a - b).abs() / a < 1e-9);
+    }
+}

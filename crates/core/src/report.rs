@@ -1,0 +1,215 @@
+//! Accuracy reporting: model-versus-measured tables.
+//!
+//! The paper validates its model by tabulating predicted against measured
+//! throughput across EB populations and mixes (Figures 10-12), quoting the
+//! relative error on each bar. [`AccuracyReport`] reproduces that artifact.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::planner::Prediction;
+use crate::PlanError;
+
+/// One row: a population with its measured value and model predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyRow {
+    /// Population (EBs).
+    pub population: usize,
+    /// Measured throughput.
+    pub measured: f64,
+    /// Burstiness-aware model prediction.
+    pub model: f64,
+    /// MVA baseline prediction.
+    pub mva: f64,
+}
+
+impl AccuracyRow {
+    /// Relative error of the burst-aware model.
+    pub fn model_error(&self) -> f64 {
+        (self.model - self.measured).abs() / self.measured
+    }
+
+    /// Relative error of the MVA baseline.
+    pub fn mva_error(&self) -> f64 {
+        (self.mva - self.measured).abs() / self.measured
+    }
+}
+
+/// A model-versus-measured accuracy table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    label: String,
+    rows: Vec<AccuracyRow>,
+}
+
+impl AccuracyReport {
+    /// Assemble a report from aligned series.
+    ///
+    /// # Errors
+    /// Rejects mismatched lengths, empty input, and non-positive measured
+    /// values.
+    pub fn new(
+        label: impl Into<String>,
+        measured: &[(usize, f64)],
+        model: &[Prediction],
+        mva: &[Prediction],
+    ) -> Result<Self, PlanError> {
+        if measured.len() != model.len() || measured.len() != mva.len() {
+            return Err(PlanError::InvalidMeasurements {
+                reason: format!(
+                    "series lengths differ: {} measured, {} model, {} mva",
+                    measured.len(),
+                    model.len(),
+                    mva.len()
+                ),
+            });
+        }
+        if measured.is_empty() {
+            return Err(PlanError::InvalidMeasurements { reason: "empty report".into() });
+        }
+        let mut rows = Vec::with_capacity(measured.len());
+        for ((pop, x), (m, v)) in measured.iter().zip(model.iter().zip(mva)) {
+            if *x <= 0.0 {
+                return Err(PlanError::InvalidMeasurements {
+                    reason: format!("non-positive measured throughput at population {pop}"),
+                });
+            }
+            if m.population != *pop || v.population != *pop {
+                return Err(PlanError::InvalidMeasurements {
+                    reason: format!(
+                        "population mismatch at row {pop}: model {} / mva {}",
+                        m.population, v.population
+                    ),
+                });
+            }
+            rows.push(AccuracyRow {
+                population: *pop,
+                measured: *x,
+                model: m.throughput,
+                mva: v.throughput,
+            });
+        }
+        Ok(AccuracyReport { label: label.into(), rows })
+    }
+
+    /// The report label (e.g. the mix name).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The rows, in input order.
+    pub fn rows(&self) -> &[AccuracyRow] {
+        &self.rows
+    }
+
+    /// Largest relative error of the burst-aware model across rows.
+    pub fn max_model_error(&self) -> f64 {
+        self.rows.iter().map(AccuracyRow::model_error).fold(0.0, f64::max)
+    }
+
+    /// Largest relative error of the MVA baseline across rows.
+    pub fn max_mva_error(&self) -> f64 {
+        self.rows.iter().map(AccuracyRow::mva_error).fold(0.0, f64::max)
+    }
+
+    /// Mean relative error of the burst-aware model.
+    pub fn mean_model_error(&self) -> f64 {
+        self.rows.iter().map(AccuracyRow::model_error).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean relative error of the MVA baseline.
+    pub fn mean_mva_error(&self) -> f64 {
+        self.rows.iter().map(AccuracyRow::mva_error).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+impl fmt::Display for AccuracyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.label)?;
+        writeln!(
+            f,
+            "{:>6} {:>12} {:>12} {:>8} {:>12} {:>8}",
+            "EBs", "measured", "model", "err", "MVA", "err"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>12.1} {:>12.1} {:>7.1}% {:>12.1} {:>7.1}%",
+                r.population,
+                r.measured,
+                r.model,
+                r.model_error() * 100.0,
+                r.mva,
+                r.mva_error() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(population: usize, throughput: f64) -> Prediction {
+        Prediction {
+            population,
+            throughput,
+            utilization_front: 0.5,
+            utilization_db: 0.5,
+            response_time: 0.1,
+        }
+    }
+
+    #[test]
+    fn errors_are_computed() {
+        let report = AccuracyReport::new(
+            "browsing",
+            &[(25, 100.0), (50, 150.0)],
+            &[pred(25, 95.0), pred(50, 160.0)],
+            &[pred(25, 130.0), pred(50, 150.0)],
+        )
+        .unwrap();
+        assert!((report.rows()[0].model_error() - 0.05).abs() < 1e-12);
+        assert!((report.rows()[0].mva_error() - 0.30).abs() < 1e-12);
+        assert!((report.max_model_error() - 1.0 / 15.0).abs() < 1e-9);
+        assert!((report.max_mva_error() - 0.30).abs() < 1e-12);
+        assert!(report.mean_model_error() < report.mean_mva_error());
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let report = AccuracyReport::new(
+            "mix",
+            &[(25, 100.0)],
+            &[pred(25, 95.0)],
+            &[pred(25, 130.0)],
+        )
+        .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("mix"));
+        assert!(text.contains("25"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(AccuracyReport::new("x", &[], &[], &[]).is_err());
+        assert!(AccuracyReport::new("x", &[(25, 1.0)], &[], &[]).is_err());
+        assert!(AccuracyReport::new(
+            "x",
+            &[(25, 0.0)],
+            &[pred(25, 1.0)],
+            &[pred(25, 1.0)]
+        )
+        .is_err());
+        assert!(AccuracyReport::new(
+            "x",
+            &[(25, 1.0)],
+            &[pred(30, 1.0)],
+            &[pred(25, 1.0)]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by MAP construction, analysis, and fitting.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The `(D0, D1)` pair is not a valid MAP representation (sign pattern,
+    /// generator row sums, or reducibility violated).
+    InvalidRepresentation {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A distribution parameter is outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The requested target is outside what the searched MAP(2) family can
+    /// represent (e.g. SCV below 1/2, index of dispersion below the feasible
+    /// floor, or a p95/mean ratio no two-phase marginal achieves).
+    FitInfeasible {
+        /// Description of why no candidate qualified.
+        reason: String,
+    },
+    /// A numeric routine (bisection, quantile inversion) failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::InvalidRepresentation { reason } => {
+                write!(f, "invalid MAP representation: {reason}")
+            }
+            MapError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MapError::FitInfeasible { reason } => write!(f, "fit infeasible: {reason}"),
+            MapError::NoConvergence { what } => write!(f, "no convergence in {what}"),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_reason() {
+        let e = MapError::FitInfeasible { reason: "I below SCV floor".into() };
+        assert!(e.to_string().contains("I below SCV floor"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<MapError>();
+    }
+}

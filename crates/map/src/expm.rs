@@ -1,0 +1,234 @@
+//! Small-matrix exponentials.
+//!
+//! MAP(2) marginals are two-phase phase-type distributions, whose CDF is
+//! `F(x) = 1 - pi * exp(D0 x) * 1`. The 2×2 exponential has a closed form via
+//! the eigenvalues of `D0`; for the sub-generators arising in MAPs the
+//! discriminant is always non-negative, so the eigenvalues are real. A
+//! scaling-and-squaring fallback covers general small matrices used by the
+//! n-state extensions.
+
+/// Closed-form exponential of a 2×2 matrix with real eigenvalues,
+/// `exp(a * t)`.
+///
+/// Uses spectral decomposition for distinct eigenvalues and the confluent
+/// (Jordan) form otherwise. For matrices with complex eigenvalues (impossible
+/// for MAP sub-generators, whose off-diagonal entries are non-negative) the
+/// routine falls back to [`expm_small`].
+///
+/// # Example
+/// ```
+/// // exp(0) = I.
+/// let e = burstcap_map::expm::expm2(&[[0.0, 0.0], [0.0, 0.0]], 1.0);
+/// assert_eq!(e, [[1.0, 0.0], [0.0, 1.0]]);
+/// ```
+pub fn expm2(a: &[[f64; 2]; 2], t: f64) -> [[f64; 2]; 2] {
+    let tr = a[0][0] + a[1][1];
+    let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+    let disc = tr * tr - 4.0 * det;
+    if disc < 0.0 {
+        // Complex pair: defer to the series-based routine.
+        return expm_small_2(a, t);
+    }
+    let sq = disc.sqrt();
+    let l1 = (tr + sq) / 2.0;
+    let l2 = (tr - sq) / 2.0;
+    if sq > 1e-12 * tr.abs().max(1.0) {
+        // Distinct eigenvalues: exp(At) = e^{l1 t} (A - l2 I)/(l1 - l2)
+        //                               + e^{l2 t} (A - l1 I)/(l2 - l1).
+        let e1 = (l1 * t).exp();
+        let e2 = (l2 * t).exp();
+        let mut out = [[0.0; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                let id = if i == j { 1.0 } else { 0.0 };
+                let m1 = (a[i][j] - l2 * id) / (l1 - l2);
+                let m2 = (a[i][j] - l1 * id) / (l2 - l1);
+                out[i][j] = e1 * m1 + e2 * m2;
+            }
+        }
+        out
+    } else {
+        // Coincident eigenvalue l: exp(At) = e^{l t} (I + t (A - l I)).
+        let l = tr / 2.0;
+        let el = (l * t).exp();
+        let mut out = [[0.0; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                let id = if i == j { 1.0 } else { 0.0 };
+                out[i][j] = el * (id + t * (a[i][j] - l * id));
+            }
+        }
+        out
+    }
+}
+
+fn expm_small_2(a: &[[f64; 2]; 2], t: f64) -> [[f64; 2]; 2] {
+    let flat = vec![vec![a[0][0], a[0][1]], vec![a[1][0], a[1][1]]];
+    let e = expm_small(&flat, t);
+    [[e[0][0], e[0][1]], [e[1][0], e[1][1]]]
+}
+
+/// Dense matrix exponential `exp(a * t)` by scaling and squaring with a Taylor
+/// core, suitable for the small (n ≤ ~50) matrices in this workspace.
+///
+/// # Panics
+/// Panics if `a` is empty or ragged; matrix shape is a programming error,
+/// not an input condition.
+pub fn expm_small(a: &[Vec<f64>], t: f64) -> Vec<Vec<f64>> {
+    let n = a.len();
+    assert!(n > 0, "matrix must be non-empty");
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+
+    // Scale so that ||A t / 2^s||_inf <= 0.5.
+    let norm: f64 = a
+        .iter()
+        .map(|row| row.iter().map(|x| (x * t).abs()).sum::<f64>())
+        .fold(0.0, f64::max);
+    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let scale = t / (2.0f64).powi(s as i32);
+
+    // Taylor series on the scaled matrix.
+    let mut result = identity(n);
+    let mut term = identity(n);
+    for k in 1..=24 {
+        term = mat_mul(&term, a);
+        let f = scale / k as f64;
+        for row in term.iter_mut() {
+            for x in row.iter_mut() {
+                *x *= f;
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                result[i][j] += term[i][j];
+            }
+        }
+    }
+    // Square back up.
+    for _ in 0..s {
+        result = mat_mul(&result, &result);
+    }
+    result
+}
+
+fn identity(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect()
+}
+
+fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for (k, &aik) in a[i].iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let e = expm2(&[[0.0, 0.0], [0.0, 0.0]], 5.0);
+        assert_eq!(e, [[1.0, 0.0], [0.0, 1.0]]);
+    }
+
+    #[test]
+    fn diagonal_matrix_exponentiates_entrywise() {
+        let e = expm2(&[[-1.0, 0.0], [0.0, -2.0]], 0.7);
+        assert!(close(e[0][0], (-0.7f64).exp(), 1e-12));
+        assert!(close(e[1][1], (-1.4f64).exp(), 1e-12));
+        assert_eq!(e[0][1], 0.0);
+        assert_eq!(e[1][0], 0.0);
+    }
+
+    #[test]
+    fn coincident_eigenvalues_jordan_block() {
+        // A = [[l, 1], [0, l]] has exp(At) = e^{lt} [[1, t], [0, 1]].
+        let l = -0.5;
+        let e = expm2(&[[l, 1.0], [0.0, l]], 2.0);
+        let elt = (l * 2.0f64).exp();
+        assert!(close(e[0][0], elt, 1e-10));
+        assert!(close(e[0][1], 2.0 * elt, 1e-10));
+        assert!(close(e[1][0], 0.0, 1e-10));
+        assert!(close(e[1][1], elt, 1e-10));
+    }
+
+    #[test]
+    fn generator_exponential_is_stochastic() {
+        // exp(Qt) of a CTMC generator must have rows summing to 1.
+        let q = [[-2.0, 2.0], [3.0, -3.0]];
+        let e = expm2(&q, 1.3);
+        for row in e {
+            assert!(close(row[0] + row[1], 1.0, 1e-10));
+            assert!(row[0] >= 0.0 && row[1] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_series_fallback() {
+        let a = [[-1.7, 0.4], [1.1, -2.2]];
+        let c = expm2(&a, 0.9);
+        let s = expm_small(&vec![vec![-1.7, 0.4], vec![1.1, -2.2]], 0.9);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(close(c[i][j], s[i][j], 1e-9), "({i},{j}): {} vs {}", c[i][j], s[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn semigroup_property_holds() {
+        // exp(A(t+s)) = exp(At) exp(As).
+        let a = [[-0.8, 0.3], [0.5, -1.1]];
+        let whole = expm2(&a, 1.5);
+        let p1 = expm2(&a, 0.9);
+        let p2 = expm2(&a, 0.6);
+        for i in 0..2 {
+            for j in 0..2 {
+                let prod = p1[i][0] * p2[0][j] + p1[i][1] * p2[1][j];
+                assert!(close(whole[i][j], prod, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn series_handles_larger_matrices() {
+        // 3x3 generator: rows of exp must sum to one.
+        let q = vec![
+            vec![-1.0, 0.6, 0.4],
+            vec![0.2, -0.9, 0.7],
+            vec![0.5, 0.5, -1.0],
+        ];
+        let e = expm_small(&q, 2.0);
+        for row in &e {
+            let sum: f64 = row.iter().sum();
+            assert!(close(sum, 1.0, 1e-9), "row sum {sum}");
+        }
+    }
+
+    #[test]
+    fn large_time_scaling_is_stable() {
+        let a = [[-3.0, 3.0], [4.0, -4.0]];
+        let e = expm2(&a, 100.0);
+        // Long-run limit is the stationary distribution (4/7, 3/7) per row.
+        for row in e {
+            assert!(close(row[0], 4.0 / 7.0, 1e-6));
+            assert!(close(row[1], 3.0 / 7.0, 1e-6));
+        }
+    }
+}

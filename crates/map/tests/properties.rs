@@ -1,0 +1,107 @@
+//! Property-based tests for the MAP substrate.
+
+use proptest::prelude::*;
+
+use burstcap_map::expm::expm2;
+use burstcap_map::fit::{renewal_map2, Map2Fitter};
+use burstcap_map::ph::Ph2;
+use burstcap_map::trace::{impose_burstiness, BurstProfile};
+use burstcap_map::Map2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// exp(Q t) of any 2x2 generator is a stochastic matrix.
+    #[test]
+    fn generator_exponential_is_stochastic(
+        a in 0.01f64..50.0,
+        b in 0.01f64..50.0,
+        t in 0.0f64..10.0,
+    ) {
+        let e = expm2(&[[-a, a], [b, -b]], t);
+        for row in e {
+            prop_assert!((row[0] + row[1] - 1.0).abs() < 1e-8);
+            prop_assert!(row[0] >= -1e-10 && row[1] >= -1e-10);
+        }
+    }
+
+    /// PH2 CDF is a proper distribution function on a coarse grid.
+    #[test]
+    fn ph2_cdf_proper(mean in 0.01f64..100.0, c2 in 0.5f64..200.0) {
+        let ph = Ph2::from_mean_scv(mean, c2).unwrap();
+        let mut last = 0.0;
+        for k in 1..=30 {
+            let x = mean * k as f64 / 3.0;
+            let f = ph.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last - 1e-12);
+            last = f;
+        }
+        // Far tail approaches 1.
+        prop_assert!(ph.cdf(mean * 200.0) > 0.95);
+    }
+
+    /// Quantile and CDF are mutually inverse for any valid PH2.
+    #[test]
+    fn ph2_quantile_inverts(mean in 0.01f64..10.0, c2 in 0.5f64..100.0, q in 0.01f64..0.99) {
+        let ph = Ph2::from_mean_scv(mean, c2).unwrap();
+        let x = ph.quantile(q).unwrap();
+        prop_assert!((ph.cdf(x) - q).abs() < 1e-7);
+    }
+
+    /// Renewal MAPs built from any marginal have I = SCV and zero lag-1
+    /// autocorrelation.
+    #[test]
+    fn renewal_map_dispersion_equals_scv(mean in 0.01f64..10.0, c2 in 0.55f64..100.0) {
+        let ph = Ph2::from_mean_scv(mean, c2).unwrap();
+        let map = renewal_map2(ph).unwrap();
+        prop_assert!((map.index_of_dispersion() - c2).abs() / c2 < 1e-6);
+        prop_assert!(map.lag1_correlation().abs() < 1e-8);
+    }
+
+    /// Time rescaling preserves all scale-free descriptors.
+    #[test]
+    fn rescaling_preserves_shape(
+        c2 in 1.05f64..100.0,
+        gamma in 0.0f64..0.99,
+        new_mean in 0.001f64..100.0,
+    ) {
+        let marginal = Ph2::from_mean_scv(1.0, c2).unwrap();
+        let map = Map2::from_hyper_marginal(marginal, gamma).unwrap();
+        let scaled = map.with_mean(new_mean).unwrap();
+        prop_assert!((scaled.mean() - new_mean).abs() / new_mean < 1e-9);
+        prop_assert!((scaled.scv() - map.scv()).abs() < 1e-6);
+        prop_assert!((scaled.gamma() - map.gamma()).abs() < 1e-9);
+        let rel_i = (scaled.index_of_dispersion() - map.index_of_dispersion()).abs()
+            / map.index_of_dispersion();
+        prop_assert!(rel_i < 1e-6);
+    }
+
+    /// The fitter's chosen candidate always satisfies the paper's +-20% band
+    /// and exact mean.
+    #[test]
+    fn fitter_respects_band(
+        mean in 1e-3f64..10.0,
+        i in 0.6f64..400.0,
+        p95_factor in 1.1f64..6.0,
+    ) {
+        let fitted = Map2Fitter::new(mean, i, mean * p95_factor).fit().unwrap();
+        prop_assert!(fitted.i_error() <= 0.2 + 1e-9);
+        prop_assert!((fitted.map().mean() - mean).abs() / mean < 1e-6);
+    }
+
+    /// Sorting maximizes the measured index of dispersion over random
+    /// reorderings (spot-check with one random permutation).
+    #[test]
+    fn sorted_is_most_bursty(seed in any::<u64>()) {
+        let base = burstcap_map::trace::hyperexp_trace(6_000, 1.0, 3.0, seed).unwrap();
+        let shuffled = impose_burstiness(&base, BurstProfile::Iid, seed).unwrap();
+        let sorted = impose_burstiness(&base, BurstProfile::Sorted, seed).unwrap();
+        let i_of = |t: &[f64]| {
+            burstcap_stats::dispersion::index_of_dispersion_counting(t, 20.0, 0.2)
+                .unwrap()
+                .index_of_dispersion()
+        };
+        prop_assert!(i_of(&sorted) > i_of(&shuffled));
+    }
+}

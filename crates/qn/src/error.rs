@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analytic solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QnError {
+    /// A model parameter is outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    NoConvergence {
+        /// Which solver failed.
+        solver: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the final iteration.
+        residual: f64,
+    },
+    /// The state space exceeds the configured limit.
+    StateSpaceTooLarge {
+        /// Number of states the model would need.
+        states: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for QnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            QnError::NoConvergence { solver, iterations, residual } => write!(
+                f,
+                "{solver} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            QnError::StateSpaceTooLarge { states, limit } => {
+                write!(f, "state space of {states} states exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for QnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QnError::NoConvergence { solver: "gauss-seidel", iterations: 10, residual: 0.5 };
+        let s = e.to_string();
+        assert!(s.contains("gauss-seidel") && s.contains("10"));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<QnError>();
+    }
+}

@@ -1,0 +1,801 @@
+//! The paper's analytic model: a closed MAP queueing network.
+//!
+//! Figure 9 of the paper models the multi-tier system as a closed network of
+//! two queues (front server, database server) and a delay (think) stage.
+//! Section 4 replaces the exponential servers with fitted **MAP(2) service
+//! processes** and solves the model exactly "by building the underlying
+//! Markov chain and solving the system of linear equations".
+//!
+//! [`MapNetwork`] builds exactly that CTMC. A state is
+//! `(n_front, n_db, phase_front, phase_db)` with `n_front + n_db <= N`; the
+//! remaining customers are thinking. Each server's MAP evolves only while its
+//! queue is non-empty (frozen-when-idle semantics, matched bit-for-bit by the
+//! discrete-event simulator in `burstcap-sim`).
+//!
+//! # Solver
+//!
+//! Fitted bursty MAPs have phase-persistence `gamma` extremely close to 1,
+//! which makes the CTMC *nearly completely decomposable* — the regime where
+//! sweep methods (Gauss-Seidel, power iteration) stall. The network, however,
+//! is **block tridiagonal** in the level `l = n_front + n_db`: think
+//! completions move up one level, database completions move down one, and
+//! front completions stay within a level. [`MapNetwork::solve`] therefore
+//! uses exact block Gaussian elimination over levels (linear level reduction,
+//! the finite-QBD direct method), which is immune to stiffness and costs
+//! `O(N^4)` time for population `N` — seconds at `N = 150`. The
+//! iterative solvers remain available via
+//! [`MapNetwork::solve_iterative`] for well-conditioned models and for
+//! cross-validation.
+
+use serde::{Deserialize, Serialize};
+
+use burstcap_map::Map2;
+
+use crate::ctmc::{Ctmc, SteadyStateMethod};
+use crate::QnError;
+
+/// Default cap on CTMC size (states).
+pub const DEFAULT_STATE_LIMIT: usize = 2_000_000;
+
+/// Closed network: think (exp) → front queue (MAP2) → DB queue (MAP2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapNetwork {
+    population: usize,
+    think_time: f64,
+    front: Map2,
+    db: Map2,
+    state_limit: usize,
+}
+
+/// Exact steady-state metrics of a [`MapNetwork`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapQnSolution {
+    /// System throughput (database completions per second).
+    pub throughput: f64,
+    /// Front-server utilization (probability the front queue is busy).
+    pub utilization_front: f64,
+    /// Database utilization.
+    pub utilization_db: f64,
+    /// Mean number of requests at the front tier.
+    pub mean_jobs_front: f64,
+    /// Mean number of requests at the database tier.
+    pub mean_jobs_db: f64,
+    /// Mean response time of one think-to-think pass (Little's law).
+    pub response_time: f64,
+    /// Number of CTMC states solved.
+    pub states: usize,
+}
+
+impl MapNetwork {
+    /// Configure the network.
+    ///
+    /// # Errors
+    /// Rejects a zero population and non-positive think times.
+    pub fn new(
+        population: usize,
+        think_time: f64,
+        front: Map2,
+        db: Map2,
+    ) -> Result<Self, QnError> {
+        if population == 0 {
+            return Err(QnError::InvalidParameter {
+                name: "population",
+                reason: "population must be at least 1".into(),
+            });
+        }
+        if think_time <= 0.0 || !think_time.is_finite() {
+            return Err(QnError::InvalidParameter {
+                name: "think_time",
+                reason: format!("must be positive and finite, got {think_time}"),
+            });
+        }
+        Ok(MapNetwork { population, think_time, front, db, state_limit: DEFAULT_STATE_LIMIT })
+    }
+
+    /// Override the state-space cap.
+    pub fn state_limit(mut self, limit: usize) -> Self {
+        self.state_limit = limit;
+        self
+    }
+
+    /// Number of CTMC states for this population:
+    /// `(N+1)(N+2)/2 * 4` phase combinations.
+    pub fn state_count(&self) -> usize {
+        let n = self.population;
+        (n + 1) * (n + 2) / 2 * 4
+    }
+
+    /// The configured population.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// The configured mean think time.
+    pub fn think_time(&self) -> f64 {
+        self.think_time
+    }
+
+    // ------------------------------------------------------------------
+    // Level-structured representation.
+    //
+    // Level l holds the states with n_front + n_db = l. The local index of
+    // (n_front, phase_f, phase_d) is n_front * 4 + phase_f * 2 + phase_d,
+    // independent of the level, so the "up" map (think completion, which
+    // increments n_front) shifts the local index by exactly 4 in the larger
+    // level.
+    // ------------------------------------------------------------------
+
+    fn level_size(level: usize) -> usize {
+        4 * (level + 1)
+    }
+
+    /// Within-level block `A0_l`, including the full exit rates on the
+    /// diagonal (up, down, and within-level transitions all drain it).
+    fn a0(&self, level: usize) -> Vec<f64> {
+        let m = Self::level_size(level);
+        let mut a = vec![0.0; m * m];
+        let d0f = self.front.d0();
+        let d1f = self.front.d1();
+        let d0d = self.db.d0();
+        let up_rate = if level < self.population {
+            (self.population - level) as f64 / self.think_time
+        } else {
+            0.0
+        };
+        for n_f in 0..=level {
+            let n_d = level - n_f;
+            for p_f in 0..2 {
+                for p_d in 0..2 {
+                    let s = n_f * 4 + p_f * 2 + p_d;
+                    let mut exit = up_rate;
+                    if n_f > 0 {
+                        exit += -d0f[p_f][p_f];
+                        // Hidden front phase change.
+                        let hidden = d0f[p_f][1 - p_f];
+                        if hidden > 0.0 {
+                            a[s * m + (n_f * 4 + (1 - p_f) * 2 + p_d)] += hidden;
+                        }
+                        // Front completion: job moves to the DB, same level.
+                        for (j, &rate) in d1f[p_f].iter().enumerate() {
+                            if rate > 0.0 {
+                                a[s * m + ((n_f - 1) * 4 + j * 2 + p_d)] += rate;
+                            }
+                        }
+                    }
+                    if n_d > 0 {
+                        exit += -d0d[p_d][p_d];
+                        let hidden = d0d[p_d][1 - p_d];
+                        if hidden > 0.0 {
+                            a[s * m + (n_f * 4 + p_f * 2 + (1 - p_d))] += hidden;
+                        }
+                        // DB completions leave the level (handled in adown).
+                    }
+                    a[s * m + s] -= exit;
+                }
+            }
+        }
+        a
+    }
+
+    /// Down-transitions from `level` to `level - 1` as sparse triples
+    /// `(local_from, local_to, rate)`: database completions.
+    fn adown(&self, level: usize) -> Vec<(usize, usize, f64)> {
+        debug_assert!(level >= 1);
+        let d1d = self.db.d1();
+        let mut tr = Vec::new();
+        for n_f in 0..=level {
+            let n_d = level - n_f;
+            if n_d == 0 {
+                continue;
+            }
+            for p_f in 0..2 {
+                for p_d in 0..2 {
+                    let s = n_f * 4 + p_f * 2 + p_d;
+                    for (j, &rate) in d1d[p_d].iter().enumerate() {
+                        if rate > 0.0 {
+                            tr.push((s, n_f * 4 + p_f * 2 + j, rate));
+                        }
+                    }
+                }
+            }
+        }
+        tr
+    }
+
+    /// Solve the network exactly by block Gaussian elimination over levels.
+    ///
+    /// # Errors
+    /// Refuses state spaces beyond the configured limit and propagates
+    /// numerical failures (singular level blocks, impossible for valid
+    /// MAPs).
+    pub fn solve(&self) -> Result<MapQnSolution, QnError> {
+        let states = self.state_count();
+        if states > self.state_limit {
+            return Err(QnError::StateSpaceTooLarge { states, limit: self.state_limit });
+        }
+        let n = self.population;
+        let z = self.think_time;
+
+        // Backward pass: S_N = A0_N; S_l = A0_l + U_l * Adown_{l+1} where
+        // U_l = nu_l * inv(-S_{l+1})[0..m_l rows].
+        let mut s = self.a0(n);
+        let mut u_blocks: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for level in (0..n).rev() {
+            let m_next = Self::level_size(level + 1);
+            let m_l = Self::level_size(level);
+            // inv(-S_{l+1})
+            let mut neg = s;
+            for x in neg.iter_mut() {
+                *x = -*x;
+            }
+            let inv = invert_flat(&mut neg, m_next).ok_or(QnError::InvalidParameter {
+                name: "network",
+                reason: format!("singular level block at level {}", level + 1),
+            })?;
+            let nu = (n - level) as f64 / z;
+            let mut u = vec![0.0; m_l * m_next];
+            for r in 0..m_l {
+                // Think completion: (n_f, p_f, p_d) at level l jumps to
+                // (n_f + 1, p_f, p_d) at level l+1 — local index r + 4.
+                let dst = r * m_next;
+                let src = (r + 4) * m_next;
+                u[dst..dst + m_next].copy_from_slice(&inv[src..src + m_next]);
+                for x in &mut u[dst..dst + m_next] {
+                    *x *= nu;
+                }
+            }
+            // S_l = A0_l + U * Adown_{l+1}.
+            let mut s_l = self.a0(level);
+            for &(row_next, col_l, rate) in &self.adown(level + 1) {
+                for r in 0..m_l {
+                    s_l[r * m_l + col_l] += u[r * m_next + row_next] * rate;
+                }
+            }
+            u_blocks.push(u);
+            s = s_l;
+        }
+        u_blocks.reverse();
+
+        // pi_0 S_0 = 0 with normalization: 4x4 nullspace solve.
+        let pi0 = left_null_vector(&s, 4).ok_or(QnError::InvalidParameter {
+            name: "network",
+            reason: "level-0 block has no stationary vector".into(),
+        })?;
+
+        // Forward pass: pi_{l+1} = pi_l U_l.
+        let mut levels: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        levels.push(pi0);
+        for (level, u) in u_blocks.iter().enumerate() {
+            let m_l = Self::level_size(level);
+            let m_next = Self::level_size(level + 1);
+            let prev = &levels[level];
+            let mut next = vec![0.0; m_next];
+            for r in 0..m_l {
+                let w = prev[r];
+                if w == 0.0 {
+                    continue;
+                }
+                let row = &u[r * m_next..(r + 1) * m_next];
+                for (c, &val) in row.iter().enumerate() {
+                    next[c] += w * val;
+                }
+            }
+            levels.push(next);
+        }
+
+        // Normalize across all levels (clip the tiny negatives roundoff can
+        // leave in near-zero entries).
+        let mut total = 0.0;
+        for level in levels.iter_mut() {
+            for x in level.iter_mut() {
+                if *x < 0.0 {
+                    *x = 0.0;
+                }
+                total += *x;
+            }
+        }
+        if !(total > 0.0) {
+            return Err(QnError::InvalidParameter {
+                name: "network",
+                reason: "stationary vector has no mass".into(),
+            });
+        }
+        for level in levels.iter_mut() {
+            for x in level.iter_mut() {
+                *x /= total;
+            }
+        }
+
+        Ok(self.metrics_from_levels(&levels))
+    }
+
+    /// Solve via the generic sparse-CTMC path with an iterative (or dense)
+    /// method — useful for cross-validating the direct solver and for
+    /// experimenting with solver behaviour on stiff chains.
+    ///
+    /// # Errors
+    /// Propagates CTMC construction/solver errors; iterative methods may
+    /// legitimately return [`QnError::NoConvergence`] on nearly
+    /// decomposable chains (see the module docs).
+    pub fn solve_iterative(&self, method: SteadyStateMethod) -> Result<MapQnSolution, QnError> {
+        let states = self.state_count();
+        if states > self.state_limit {
+            return Err(QnError::StateSpaceTooLarge { states, limit: self.state_limit });
+        }
+        let chain = Ctmc::from_transitions(states, self.flat_transitions())?;
+        let pi = chain.steady_state(method)?;
+        // Re-bucket the flat vector into levels for metric extraction.
+        let n = self.population;
+        let mut levels: Vec<Vec<f64>> = (0..=n).map(|l| vec![0.0; Self::level_size(l)]).collect();
+        for n_f in 0..=n {
+            for n_d in 0..=(n - n_f) {
+                for p_f in 0..2 {
+                    for p_d in 0..2 {
+                        let flat = self.flat_index(n_f, n_d, p_f, p_d);
+                        levels[n_f + n_d][n_f * 4 + p_f * 2 + p_d] = pi[flat];
+                    }
+                }
+            }
+        }
+        Ok(self.metrics_from_levels(&levels))
+    }
+
+    /// Solve a population sweep (one exact solve per population).
+    ///
+    /// # Errors
+    /// Propagates the first per-population failure.
+    pub fn solve_sweep(&self, populations: &[usize]) -> Result<Vec<MapQnSolution>, QnError> {
+        populations
+            .iter()
+            .map(|&pop| {
+                MapNetwork {
+                    population: pop,
+                    think_time: self.think_time,
+                    front: self.front,
+                    db: self.db,
+                    state_limit: self.state_limit,
+                }
+                .solve()
+            })
+            .collect()
+    }
+
+    /// Flat state index for the generic-CTMC path.
+    fn flat_index(&self, n_f: usize, n_d: usize, p_f: usize, p_d: usize) -> usize {
+        let n = self.population;
+        let before = n_f * (n + 1) - n_f * (n_f.saturating_sub(1)) / 2;
+        (before + n_d) * 4 + p_f * 2 + p_d
+    }
+
+    /// Full transition list for the generic-CTMC path.
+    fn flat_transitions(&self) -> Vec<(usize, usize, f64)> {
+        let n = self.population;
+        let think_rate = 1.0 / self.think_time;
+        let d0f = self.front.d0();
+        let d1f = self.front.d1();
+        let d0d = self.db.d0();
+        let d1d = self.db.d1();
+        let mut tr = Vec::with_capacity(self.state_count() * 6);
+        for n_f in 0..=n {
+            for n_d in 0..=(n - n_f) {
+                let thinking = (n - n_f - n_d) as f64;
+                for p_f in 0..2 {
+                    for p_d in 0..2 {
+                        let from = self.flat_index(n_f, n_d, p_f, p_d);
+                        if thinking > 0.0 {
+                            tr.push((
+                                from,
+                                self.flat_index(n_f + 1, n_d, p_f, p_d),
+                                thinking * think_rate,
+                            ));
+                        }
+                        if n_f > 0 {
+                            let hidden = d0f[p_f][1 - p_f];
+                            if hidden > 0.0 {
+                                tr.push((from, self.flat_index(n_f, n_d, 1 - p_f, p_d), hidden));
+                            }
+                            for (j, &rate) in d1f[p_f].iter().enumerate() {
+                                if rate > 0.0 {
+                                    tr.push((from, self.flat_index(n_f - 1, n_d + 1, j, p_d), rate));
+                                }
+                            }
+                        }
+                        if n_d > 0 {
+                            let hidden = d0d[p_d][1 - p_d];
+                            if hidden > 0.0 {
+                                tr.push((from, self.flat_index(n_f, n_d, p_f, 1 - p_d), hidden));
+                            }
+                            for (j, &rate) in d1d[p_d].iter().enumerate() {
+                                if rate > 0.0 {
+                                    tr.push((from, self.flat_index(n_f, n_d - 1, p_f, j), rate));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        tr
+    }
+
+    /// Extract metrics from per-level stationary blocks.
+    fn metrics_from_levels(&self, levels: &[Vec<f64>]) -> MapQnSolution {
+        let d1d = self.db.d1();
+        let mut throughput = 0.0;
+        let mut u_f = 0.0;
+        let mut u_d = 0.0;
+        let mut q_f = 0.0;
+        let mut q_d = 0.0;
+        for (level, block) in levels.iter().enumerate() {
+            for n_f in 0..=level {
+                let n_d = level - n_f;
+                for p_f in 0..2 {
+                    for p_d in 0..2 {
+                        let p = block[n_f * 4 + p_f * 2 + p_d];
+                        if n_f > 0 {
+                            u_f += p;
+                        }
+                        if n_d > 0 {
+                            u_d += p;
+                            throughput += p * (d1d[p_d][0] + d1d[p_d][1]);
+                        }
+                        q_f += p * n_f as f64;
+                        q_d += p * n_d as f64;
+                    }
+                }
+            }
+        }
+        let response_time = if throughput > 0.0 {
+            self.population as f64 / throughput - self.think_time
+        } else {
+            f64::INFINITY
+        };
+        MapQnSolution {
+            throughput,
+            utilization_front: u_f,
+            utilization_db: u_d,
+            mean_jobs_front: q_f,
+            mean_jobs_db: q_d,
+            response_time,
+            states: self.state_count(),
+        }
+    }
+}
+
+/// Invert a flat row-major `m x m` matrix in place via Gauss-Jordan with
+/// partial pivoting; returns the inverse, or `None` if singular.
+fn invert_flat(a: &mut [f64], m: usize) -> Option<Vec<f64>> {
+    let mut inv = vec![0.0; m * m];
+    for i in 0..m {
+        inv[i * m + i] = 1.0;
+    }
+    for col in 0..m {
+        // Pivot search.
+        let mut pivot = col;
+        let mut best = a[col * m + col].abs();
+        for r in (col + 1)..m {
+            let v = a[r * m + col].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..m {
+                a.swap(col * m + k, pivot * m + k);
+                inv.swap(col * m + k, pivot * m + k);
+            }
+        }
+        let d = a[col * m + col];
+        let dinv = 1.0 / d;
+        for k in 0..m {
+            a[col * m + k] *= dinv;
+            inv[col * m + k] *= dinv;
+        }
+        for r in 0..m {
+            if r == col {
+                continue;
+            }
+            let f = a[r * m + col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in 0..m {
+                a[r * m + k] -= f * a[col * m + k];
+                inv[r * m + k] -= f * inv[col * m + k];
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Left null vector of a flat `m x m` matrix (row vector `pi` with
+/// `pi A = 0`, `sum(pi) = 1`), or `None` if the nullspace is empty.
+fn left_null_vector(a: &[f64], m: usize) -> Option<Vec<f64>> {
+    // Solve A^T x = 0 with the last equation replaced by normalization.
+    let mut t = vec![0.0; m * m];
+    for i in 0..m {
+        for j in 0..m {
+            t[i * m + j] = a[j * m + i];
+        }
+    }
+    let mut b = vec![0.0; m];
+    for j in 0..m {
+        t[(m - 1) * m + j] = 1.0;
+    }
+    b[m - 1] = 1.0;
+    // Gaussian elimination with partial pivoting.
+    let mut t2 = t;
+    for col in 0..m {
+        let mut pivot = col;
+        let mut best = t2[col * m + col].abs();
+        for r in (col + 1)..m {
+            let v = t2[r * m + col].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..m {
+                t2.swap(col * m + k, pivot * m + k);
+            }
+            b.swap(col, pivot);
+        }
+        for r in (col + 1)..m {
+            let f = t2[r * m + col] / t2[col * m + col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..m {
+                t2[r * m + k] -= f * t2[col * m + k];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    for col in (0..m).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..m {
+            acc -= t2[col * m + k] * b[k];
+        }
+        b[col] = acc / t2[col * m + col];
+    }
+    for x in b.iter_mut() {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    let s: f64 = b.iter().sum();
+    if s <= 0.0 {
+        return None;
+    }
+    for x in b.iter_mut() {
+        *x /= s;
+    }
+    Some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::ClosedMva;
+    use burstcap_map::fit::Map2Fitter;
+
+    #[test]
+    fn exponential_network_matches_mva() {
+        // With Poisson (exponential) service the model is product-form and
+        // MVA is exact.
+        let front = Map2::poisson(1.0 / 0.01).unwrap();
+        let db = Map2::poisson(1.0 / 0.006).unwrap();
+        let mva = ClosedMva::new(vec![0.01, 0.006], 0.5).unwrap();
+        for pop in [1, 5, 20, 60] {
+            let exact = MapNetwork::new(pop, 0.5, front, db).unwrap().solve().unwrap();
+            let baseline = mva.solve(pop).unwrap();
+            assert!(
+                (exact.throughput - baseline.throughput).abs() / baseline.throughput < 1e-6,
+                "N={pop}: MAP-QN {} vs MVA {}",
+                exact.throughput,
+                baseline.throughput
+            );
+            assert!(
+                (exact.utilization_front - baseline.utilization[0]).abs() < 1e-6,
+                "N={pop}: U_f {} vs {}",
+                exact.utilization_front,
+                baseline.utilization[0]
+            );
+        }
+    }
+
+    #[test]
+    fn direct_solver_matches_dense_lu() {
+        // Cross-validation of the level-reduction against exact dense LU on
+        // the full generator, including a stiff bursty MAP.
+        let front = Map2Fitter::new(0.02, 50.0, 0.06).fit().unwrap().map();
+        let db = Map2Fitter::new(0.03, 100.0, 0.1).fit().unwrap().map();
+        let net = MapNetwork::new(8, 0.45, front, db).unwrap();
+        let direct = net.solve().unwrap();
+        let lu = net
+            .solve_iterative(SteadyStateMethod::DenseLu { limit: 10_000 })
+            .unwrap();
+        assert!(
+            (direct.throughput - lu.throughput).abs() / lu.throughput < 1e-8,
+            "direct {} vs LU {}",
+            direct.throughput,
+            lu.throughput
+        );
+        assert!((direct.utilization_db - lu.utilization_db).abs() < 1e-8);
+        assert!((direct.mean_jobs_front - lu.mean_jobs_front).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_customer_closed_form() {
+        // N=1: X = 1 / (Z + S_f + S_d) regardless of burstiness profile
+        // (means only).
+        let front = Map2Fitter::new(0.02, 50.0, 0.06).fit().unwrap().map();
+        let db = Map2Fitter::new(0.03, 100.0, 0.1).fit().unwrap().map();
+        let sol = MapNetwork::new(1, 0.45, front, db).unwrap().solve().unwrap();
+        let expected = 1.0 / (0.45 + 0.02 + 0.03);
+        assert!(
+            (sol.throughput - expected).abs() / expected < 1e-6,
+            "X = {} vs {}",
+            sol.throughput,
+            expected
+        );
+    }
+
+    #[test]
+    fn bursty_service_reduces_throughput() {
+        let front = Map2::poisson(1.0 / 0.008).unwrap();
+        let db_smooth = Map2::poisson(1.0 / 0.007).unwrap();
+        let db_bursty = Map2Fitter::new(0.007, 200.0, 0.02).fit().unwrap().map();
+        let pop = 40;
+        let smooth = MapNetwork::new(pop, 0.2, front, db_smooth).unwrap().solve().unwrap();
+        let bursty = MapNetwork::new(pop, 0.2, front, db_bursty).unwrap().solve().unwrap();
+        assert!(
+            bursty.throughput < 0.9 * smooth.throughput,
+            "bursty {} vs smooth {}",
+            bursty.throughput,
+            smooth.throughput
+        );
+    }
+
+    #[test]
+    fn matches_discrete_event_simulation() {
+        // Cross-validation against the independent DES implementation.
+        use burstcap_sim::queues::ClosedMapNetwork;
+        let front = Map2Fitter::new(0.01, 20.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.006, 80.0, 0.02).fit().unwrap().map();
+        let pop = 25;
+        let analytic = MapNetwork::new(pop, 0.3, front, db).unwrap().solve().unwrap();
+        let sim = ClosedMapNetwork::new(pop, 0.3, front, db)
+            .unwrap()
+            .run(3000.0, 300.0, 42)
+            .unwrap();
+        assert!(
+            (analytic.throughput - sim.throughput).abs() / analytic.throughput < 0.05,
+            "analytic X = {} vs sim X = {}",
+            analytic.throughput,
+            sim.throughput
+        );
+        assert!(
+            (analytic.utilization_db - sim.utilization_db).abs() < 0.05,
+            "analytic U_db = {} vs sim {}",
+            analytic.utilization_db,
+            sim.utilization_db
+        );
+    }
+
+    #[test]
+    fn population_is_conserved() {
+        let front = Map2Fitter::new(0.01, 40.0, 0.03).fit().unwrap().map();
+        let db = Map2::poisson(1.0 / 0.004).unwrap();
+        let pop = 30;
+        let sol = MapNetwork::new(pop, 0.5, front, db).unwrap().solve().unwrap();
+        let thinking = sol.throughput * 0.5;
+        let total = sol.mean_jobs_front + sol.mean_jobs_db + thinking;
+        assert!((total - pop as f64).abs() < 1e-6, "total = {total}");
+    }
+
+    #[test]
+    fn sweep_matches_individual_solves() {
+        let front = Map2::poisson(1.0 / 0.01).unwrap();
+        let db = Map2Fitter::new(0.007, 60.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::new(1, 0.4, front, db).unwrap();
+        let sweep = net.solve_sweep(&[5, 10, 20]).unwrap();
+        for (i, &pop) in [5usize, 10, 20].iter().enumerate() {
+            let single = MapNetwork::new(pop, 0.4, front, db).unwrap().solve().unwrap();
+            assert!(
+                (sweep[i].throughput - single.throughput).abs() / single.throughput < 1e-9,
+                "pop {pop}: sweep {} vs single {}",
+                sweep[i].throughput,
+                single.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_in_population() {
+        let front = Map2Fitter::new(0.008, 40.0, 0.02).fit().unwrap().map();
+        let db = Map2Fitter::new(0.006, 150.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::new(1, 0.5, front, db).unwrap();
+        let sols = net.solve_sweep(&[1, 5, 15, 30, 50]).unwrap();
+        for w in sols.windows(2) {
+            assert!(
+                w[1].throughput >= w[0].throughput - 1e-9,
+                "throughput dipped: {} -> {}",
+                w[0].throughput,
+                w[1].throughput
+            );
+        }
+    }
+
+    #[test]
+    fn state_count_formula() {
+        let net = MapNetwork::new(3, 0.5, Map2::poisson(1.0).unwrap(), Map2::poisson(1.0).unwrap())
+            .unwrap();
+        // Pairs: (0,0..3),(1,0..2),(2,0..1),(3,0) = 4+3+2+1 = 10; x4 phases.
+        assert_eq!(net.state_count(), 40);
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let net = MapNetwork::new(100, 0.5, Map2::poisson(1.0).unwrap(), Map2::poisson(1.0).unwrap())
+            .unwrap()
+            .state_limit(100);
+        assert!(matches!(net.solve(), Err(QnError::StateSpaceTooLarge { .. })));
+    }
+
+    #[test]
+    fn validation() {
+        let m = Map2::poisson(1.0).unwrap();
+        assert!(MapNetwork::new(0, 0.5, m, m).is_err());
+        assert!(MapNetwork::new(1, 0.0, m, m).is_err());
+    }
+
+    #[test]
+    fn response_time_via_littles_law() {
+        let front = Map2::poisson(1.0 / 0.01).unwrap();
+        let db = Map2::poisson(1.0 / 0.005).unwrap();
+        let sol = MapNetwork::new(20, 0.5, front, db).unwrap().solve().unwrap();
+        let reconstructed = 20.0 / sol.throughput - 0.5;
+        assert!((sol.response_time - reconstructed).abs() < 1e-9);
+        assert!(sol.response_time > 0.015, "response must exceed total demand");
+    }
+
+    #[test]
+    fn invert_flat_roundtrip() {
+        let mut a = vec![4.0, 7.0, 2.0, 6.0];
+        let inv = invert_flat(&mut a.clone(), 2).unwrap();
+        // A * A^{-1} = I.
+        let a0 = [4.0, 7.0, 2.0, 6.0];
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = 0.0;
+                for k in 0..2 {
+                    acc += a0[i * 2 + k] * inv[k * 2 + j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((acc - expect).abs() < 1e-12);
+            }
+        }
+        let mut singular = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(invert_flat(&mut singular, 2).is_none());
+        a.clear();
+    }
+
+    #[test]
+    fn left_null_vector_of_generator() {
+        // Generator of a 2-state chain with rates 2 (0->1) and 3 (1->0):
+        // pi = (0.6, 0.4).
+        let a = vec![-2.0, 2.0, 3.0, -3.0];
+        let pi = left_null_vector(&a, 2).unwrap();
+        assert!((pi[0] - 0.6).abs() < 1e-12);
+        assert!((pi[1] - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the analytic solvers.
+
+use proptest::prelude::*;
+
+use burstcap_map::fit::Map2Fitter;
+use burstcap_map::Map2;
+use burstcap_qn::ctmc::{Ctmc, SteadyStateMethod};
+use burstcap_qn::mapqn::MapNetwork;
+use burstcap_qn::mva::ClosedMva;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Birth-death chains: Gauss-Seidel and dense LU agree for arbitrary
+    /// rates.
+    #[test]
+    fn solvers_agree_on_birth_death(
+        rates in prop::collection::vec((0.1f64..10.0, 0.1f64..10.0), 2..30),
+    ) {
+        let n = rates.len() + 1;
+        let mut tr = Vec::new();
+        for (i, &(up, down)) in rates.iter().enumerate() {
+            tr.push((i, i + 1, up));
+            tr.push((i + 1, i, down));
+        }
+        let chain = Ctmc::from_transitions(n, tr).unwrap();
+        let gs = chain.steady_state(SteadyStateMethod::default()).unwrap();
+        let lu = chain.steady_state(SteadyStateMethod::DenseLu { limit: 100 }).unwrap();
+        for i in 0..n {
+            // The Gauss-Seidel stopping rule bounds the balance residual,
+            // not the per-state error, so allow a modest absolute gap.
+            prop_assert!((gs[i] - lu[i]).abs() < 2e-3, "state {i}: {} vs {}", gs[i], lu[i]);
+        }
+        // Both candidates must satisfy global balance tightly.
+        prop_assert!(chain.residual(&lu) < 1e-8);
+        // Detailed balance holds for birth-death chains.
+        for (i, &(up, down)) in rates.iter().enumerate() {
+            prop_assert!((lu[i] * up - lu[i + 1] * down).abs() < 1e-8);
+        }
+    }
+
+    /// MVA response time is monotone in population (more customers, more
+    /// queueing) and utilization stays in [0, 1].
+    #[test]
+    fn mva_response_monotone(
+        d1 in 1e-4f64..0.05,
+        d2 in 1e-4f64..0.05,
+        z in 0.0f64..2.0,
+        n in 1usize..100,
+    ) {
+        let mva = ClosedMva::new(vec![d1, d2], z).unwrap();
+        let a = mva.solve(n).unwrap();
+        let b = mva.solve(n + 1).unwrap();
+        prop_assert!(b.response_time >= a.response_time - 1e-12);
+        for u in &a.utilization {
+            prop_assert!((0.0..=1.0).contains(u));
+        }
+    }
+
+    /// The exact MAP-QN solution of an exponential network coincides with
+    /// MVA for any demands (product form).
+    #[test]
+    fn mapqn_product_form_check(
+        d1 in 1e-3f64..0.05,
+        d2 in 1e-3f64..0.05,
+        pop in 1usize..20,
+    ) {
+        let front = Map2::poisson(1.0 / d1).unwrap();
+        let db = Map2::poisson(1.0 / d2).unwrap();
+        let exact = MapNetwork::new(pop, 0.5, front, db).unwrap().solve().unwrap();
+        let mva = ClosedMva::new(vec![d1, d2], 0.5).unwrap().solve(pop).unwrap();
+        prop_assert!(
+            (exact.throughput - mva.throughput).abs() / mva.throughput < 1e-6,
+            "X {} vs {}",
+            exact.throughput,
+            mva.throughput
+        );
+    }
+
+    /// Burstiness never helps: for equal means, the bursty network's
+    /// throughput is bounded by the exponential network's.
+    #[test]
+    fn burstiness_never_helps(
+        i_db in 2.0f64..200.0,
+        pop in 2usize..25,
+    ) {
+        let front = Map2::poisson(1.0 / 0.008).unwrap();
+        let db_exp = Map2::poisson(1.0 / 0.006).unwrap();
+        let db_bursty = Map2Fitter::new(0.006, i_db, 0.018).fit().unwrap().map();
+        let x_exp = MapNetwork::new(pop, 0.4, front, db_exp).unwrap().solve().unwrap().throughput;
+        let x_bursty =
+            MapNetwork::new(pop, 0.4, front, db_bursty).unwrap().solve().unwrap().throughput;
+        prop_assert!(
+            x_bursty <= x_exp * 1.01,
+            "bursty X {} exceeds exponential X {}",
+            x_bursty,
+            x_exp
+        );
+    }
+}

@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or running simulations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter is outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The simulation produced no observations to summarize (e.g. the horizon
+    /// ended before any completion).
+    NoObservations {
+        /// What was being measured.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SimError::NoObservations { what } => {
+                write!(f, "simulation produced no observations for {what}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::NoObservations { what: "response times" };
+        assert!(e.to_string().contains("response times"));
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<SimError>();
+    }
+}

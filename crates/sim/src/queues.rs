@@ -1,0 +1,532 @@
+//! Canned queueing models used by the paper's experiments.
+//!
+//! * [`MTrace1`] — the open M/Trace/1 FCFS queue of Table 1: Poisson
+//!   arrivals against a *given, ordered* service-time trace, so that the
+//!   burstiness profile of the trace (not just its distribution) shapes the
+//!   response times. Solved exactly by Lindley recursion.
+//! * [`ClosedMapNetwork`] — a discrete-event simulation of the paper's
+//!   Figure 9 model: `N` customers cycling through an exponential think
+//!   stage, a front-server queue and a database queue, each serving with a
+//!   MAP(2)-modulated completion process. It exists to cross-validate the
+//!   exact CTMC solver in `burstcap-qn` and to generate synthetic monitoring
+//!   data with known ground truth.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use burstcap_map::Map2;
+
+use crate::engine::EventQueue;
+use crate::measure::ResponseTally;
+use crate::SimError;
+
+/// The M/Trace/1 queue of the paper's Table 1.
+///
+/// Arrival rate is derived from the requested utilization:
+/// `lambda = rho / mean(service)`. Jobs are served FCFS in trace order, so
+/// reordering the trace changes waiting times even though the service-time
+/// distribution is identical — the experiment at the heart of Section 2.
+#[derive(Debug, Clone)]
+pub struct MTrace1 {
+    rho: f64,
+    trace: Vec<f64>,
+}
+
+/// Result of an [`MTrace1`] run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MTrace1Result {
+    response_mean: f64,
+    response_p95: f64,
+    utilization: f64,
+    completed: usize,
+}
+
+impl MTrace1Result {
+    /// Mean response time (waiting + service).
+    pub fn response_time_mean(&self) -> f64 {
+        self.response_mean
+    }
+
+    /// 95th percentile of response times.
+    pub fn response_time_p95(&self) -> f64 {
+        self.response_p95
+    }
+
+    /// Long-run fraction of time the server was busy.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Number of jobs served (the trace length).
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+}
+
+impl MTrace1 {
+    /// Create the queue with target utilization `rho` and an ordered
+    /// service-time trace.
+    ///
+    /// # Errors
+    /// Rejects `rho` outside `(0, 1)`, empty traces, and traces with
+    /// non-positive mean or negative entries.
+    pub fn new(rho: f64, trace: Vec<f64>) -> Result<Self, SimError> {
+        if !(0.0 < rho && rho < 1.0) {
+            return Err(SimError::InvalidParameter {
+                name: "rho",
+                reason: format!("must lie in (0, 1), got {rho}"),
+            });
+        }
+        if trace.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "trace",
+                reason: "empty service trace".into(),
+            });
+        }
+        if trace.iter().any(|&s| s < 0.0 || !s.is_finite()) {
+            return Err(SimError::InvalidParameter {
+                name: "trace",
+                reason: "service times must be non-negative and finite".into(),
+            });
+        }
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        if mean <= 0.0 {
+            return Err(SimError::InvalidParameter {
+                name: "trace",
+                reason: "service trace mean must be positive".into(),
+            });
+        }
+        Ok(MTrace1 { rho, trace })
+    }
+
+    /// Run the queue to completion (all trace jobs served) via Lindley
+    /// recursion and summarize response times.
+    ///
+    /// # Errors
+    /// Never fails for a validated queue; the `Result` mirrors the
+    /// fallibility of response summarization.
+    pub fn run(&self, seed: u64) -> Result<MTrace1Result, SimError> {
+        let mean_service = self.trace.iter().sum::<f64>() / self.trace.len() as f64;
+        let lambda = self.rho / mean_service;
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        let mut tally = ResponseTally::new();
+        let mut arrival = 0.0_f64;
+        let mut depart_prev = 0.0_f64;
+        let mut busy_time = 0.0_f64;
+        for &s in &self.trace {
+            arrival += -(1.0 - rng.random::<f64>()).ln() / lambda;
+            let start = arrival.max(depart_prev);
+            let depart = start + s;
+            tally.record(depart - arrival);
+            busy_time += s;
+            depart_prev = depart;
+        }
+        Ok(MTrace1Result {
+            response_mean: tally.mean()?,
+            response_p95: tally.percentile(0.95)?,
+            utilization: (busy_time / depart_prev).min(1.0),
+            completed: self.trace.len(),
+        })
+    }
+}
+
+/// Identifier of a queueing station in [`ClosedMapNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// Front (application) server.
+    Front,
+    /// Database server.
+    Db,
+}
+
+/// Calendar events of the closed-network simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A customer finished thinking and submits a request to the front tier.
+    ThinkEnd,
+    /// The service MAP of a station fires a (hidden or event) transition.
+    Transition { tier: usize, generation: u64 },
+}
+
+/// A station whose completions follow a MAP(2) service process, frozen while
+/// the station is idle.
+#[derive(Debug, Clone)]
+struct MapStation {
+    map: Map2,
+    phase: usize,
+    queue_len: usize,
+    generation: u64,
+    busy_since: Option<f64>,
+    busy_total: f64,
+    completions_measured: u64,
+    queue_area: f64,
+    last_change: f64,
+}
+
+impl MapStation {
+    fn new(map: Map2, rng: &mut SmallRng) -> Self {
+        let pi = map.embedded_stationary();
+        MapStation {
+            map,
+            phase: usize::from(rng.random::<f64>() >= pi[0]),
+            queue_len: 0,
+            generation: 0,
+            busy_since: None,
+            busy_total: 0.0,
+            completions_measured: 0,
+            queue_area: 0.0,
+            last_change: 0.0,
+        }
+    }
+
+    fn integrate_queue(&mut self, now: f64, measure_from: f64) {
+        let from = self.last_change.max(measure_from);
+        if now > from {
+            self.queue_area += self.queue_len as f64 * (now - from);
+        }
+        self.last_change = now;
+    }
+}
+
+/// Exact discrete-event simulation of the closed MAP queueing network of the
+/// paper's Figure 9: think (exponential delay) → front → database → think.
+#[derive(Debug, Clone)]
+pub struct ClosedMapNetwork {
+    population: usize,
+    think_time: f64,
+    front: Map2,
+    db: Map2,
+}
+
+/// Steady-state estimates from a [`ClosedMapNetwork`] run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosedRunResult {
+    /// System throughput: database completions per second.
+    pub throughput: f64,
+    /// Front-server utilization.
+    pub utilization_front: f64,
+    /// Database utilization.
+    pub utilization_db: f64,
+    /// Time-averaged number of requests at the front tier.
+    pub mean_jobs_front: f64,
+    /// Time-averaged number of requests at the database tier.
+    pub mean_jobs_db: f64,
+}
+
+impl ClosedMapNetwork {
+    /// Configure a network with `population` customers, mean think time
+    /// `think_time`, and per-tier MAP(2) service processes.
+    ///
+    /// # Errors
+    /// Rejects a zero population and non-positive think times.
+    pub fn new(
+        population: usize,
+        think_time: f64,
+        front: Map2,
+        db: Map2,
+    ) -> Result<Self, SimError> {
+        if population == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "population",
+                reason: "need at least one customer".into(),
+            });
+        }
+        if think_time <= 0.0 || !think_time.is_finite() {
+            return Err(SimError::InvalidParameter {
+                name: "think_time",
+                reason: format!("must be positive and finite, got {think_time}"),
+            });
+        }
+        Ok(ClosedMapNetwork { population, think_time, front, db })
+    }
+
+    /// Simulate for `horizon` seconds, measuring after `warmup` seconds.
+    ///
+    /// # Errors
+    /// Rejects a non-positive measurement interval or a run with no
+    /// completions.
+    pub fn run(&self, horizon: f64, warmup: f64, seed: u64) -> Result<ClosedRunResult, SimError> {
+        if !(horizon.is_finite() && warmup >= 0.0 && horizon > warmup) {
+            return Err(SimError::InvalidParameter {
+                name: "horizon",
+                reason: format!("need 0 <= warmup < horizon, got warmup={warmup}, horizon={horizon}"),
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut calendar: EventQueue<Event> = EventQueue::new();
+        let mut stations =
+            [MapStation::new(self.front, &mut rng), MapStation::new(self.db, &mut rng)];
+
+        // All customers start thinking.
+        for _ in 0..self.population {
+            let t = sample_exp(&mut rng, 1.0 / self.think_time);
+            calendar.schedule(t, Event::ThinkEnd);
+        }
+
+        let schedule_sojourn = |st: &mut MapStation, cal: &mut EventQueue<Event>, now: f64,
+                                tier: usize, rng: &mut SmallRng| {
+            let rate = -st.map.d0()[st.phase][st.phase];
+            let dt = sample_exp(rng, rate);
+            cal.schedule(now + dt, Event::Transition { tier, generation: st.generation });
+        };
+
+        let mut now;
+        loop {
+            let Some((t, event)) = calendar.pop() else {
+                break;
+            };
+            now = t;
+            if now >= horizon {
+                break;
+            }
+            match event {
+                Event::ThinkEnd => {
+                    let st = &mut stations[0];
+                    st.integrate_queue(now, warmup);
+                    st.queue_len += 1;
+                    if st.queue_len == 1 {
+                        st.busy_since = Some(now);
+                        st.generation += 1;
+                        schedule_sojourn(st, &mut calendar, now, 0, &mut rng);
+                    }
+                }
+                Event::Transition { tier, generation } => {
+                    let (is_event, routed) = {
+                        let st = &mut stations[tier];
+                        if generation != st.generation || st.queue_len == 0 {
+                            continue; // stale calendar entry
+                        }
+                        // Split the phase exit rate between hidden (D0) and
+                        // event (D1) transitions.
+                        let i = st.phase;
+                        let total = -st.map.d0()[i][i];
+                        let hidden = st.map.d0()[i][1 - i];
+                        let u = rng.random::<f64>() * total;
+                        if u < hidden {
+                            st.phase = 1 - i;
+                            schedule_sojourn(st, &mut calendar, now, tier, &mut rng);
+                            (false, false)
+                        } else {
+                            // Event transition: pick destination phase.
+                            let d1 = st.map.d1()[i];
+                            st.phase = if u - hidden < d1[0] { 0 } else { 1 };
+                            st.integrate_queue(now, warmup);
+                            st.queue_len -= 1;
+                            if now >= warmup {
+                                st.completions_measured += 1;
+                                let since = st.busy_since.expect("busy while serving");
+                                st.busy_total += now - since.max(warmup);
+                                st.busy_since = Some(now);
+                            }
+                            if st.queue_len > 0 {
+                                st.generation += 1;
+                                schedule_sojourn(st, &mut calendar, now, tier, &mut rng);
+                            } else {
+                                st.busy_since = None;
+                                st.generation += 1;
+                            }
+                            (true, true)
+                        }
+                    };
+                    if is_event && routed {
+                        match tier {
+                            0 => {
+                                // Front completion feeds the database.
+                                let st = &mut stations[1];
+                                st.integrate_queue(now, warmup);
+                                st.queue_len += 1;
+                                if st.queue_len == 1 {
+                                    st.busy_since = Some(now);
+                                    st.generation += 1;
+                                    schedule_sojourn(st, &mut calendar, now, 1, &mut rng);
+                                }
+                            }
+                            _ => {
+                                // Database completion returns to thinking.
+                                let dt = sample_exp(&mut rng, 1.0 / self.think_time);
+                                calendar.schedule(now + dt, Event::ThinkEnd);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Close out accumulators at the horizon.
+        let measured = horizon - warmup;
+        for st in stations.iter_mut() {
+            st.integrate_queue(horizon, warmup);
+            if let Some(since) = st.busy_since {
+                st.busy_total += horizon - since.max(warmup);
+            }
+        }
+        let db_completions = stations[1].completions_measured;
+        if db_completions == 0 {
+            return Err(SimError::NoObservations { what: "database completions" });
+        }
+        Ok(ClosedRunResult {
+            throughput: db_completions as f64 / measured,
+            utilization_front: stations[0].busy_total / measured,
+            utilization_db: stations[1].busy_total / measured,
+            mean_jobs_front: stations[0].queue_area / measured,
+            mean_jobs_db: stations[1].queue_area / measured,
+        })
+    }
+
+    /// The configured population.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// The configured mean think time.
+    pub fn think_time(&self) -> f64 {
+        self.think_time
+    }
+}
+
+fn sample_exp(rng: &mut SmallRng, rate: f64) -> f64 {
+    -(1.0 - rng.random::<f64>()).ln() / rate
+}
+
+/// FIFO queue of job identifiers — exposed for testbed builders that manage
+/// their own stations.
+pub type JobQueue = VecDeque<u64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burstcap_map::fit::Map2Fitter;
+
+    #[test]
+    fn mm1_response_time_matches_theory() {
+        // Exponential trace: M/M/1 with rho = 0.5 has E[R] = E[S]/(1-rho) = 2.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trace: Vec<f64> = (0..400_000).map(|_| sample_exp(&mut rng, 1.0)).collect();
+        let result = MTrace1::new(0.5, trace).unwrap().run(2).unwrap();
+        assert!(
+            (result.response_time_mean() - 2.0).abs() < 0.1,
+            "E[R] = {}",
+            result.response_time_mean()
+        );
+        assert!((result.utilization() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn md1_waiting_matches_pollaczek_khinchin() {
+        // Deterministic service, rho = 0.8: W = rho/(2(1-rho)) * E[S] = 2;
+        // E[R] = 3.
+        let trace = vec![1.0; 400_000];
+        let result = MTrace1::new(0.8, trace).unwrap().run(3).unwrap();
+        assert!(
+            (result.response_time_mean() - 3.0).abs() < 0.2,
+            "E[R] = {}",
+            result.response_time_mean()
+        );
+    }
+
+    #[test]
+    fn bursty_trace_degrades_response_times() {
+        // Same multiset of service times, different order: sorted (maximal
+        // burstiness) must be far slower — Table 1's core observation.
+        use burstcap_map::trace::{hyperexp_trace, impose_burstiness, BurstProfile};
+        let base = hyperexp_trace(100_000, 1.0, 3.0, 4).unwrap();
+        let iid = impose_burstiness(&base, BurstProfile::Iid, 1).unwrap();
+        let sorted = impose_burstiness(&base, BurstProfile::Sorted, 1).unwrap();
+        let r_iid = MTrace1::new(0.5, iid).unwrap().run(9).unwrap();
+        let r_sorted = MTrace1::new(0.5, sorted).unwrap().run(9).unwrap();
+        assert!(
+            r_sorted.response_time_mean() > 5.0 * r_iid.response_time_mean(),
+            "sorted {} vs iid {}",
+            r_sorted.response_time_mean(),
+            r_iid.response_time_mean()
+        );
+    }
+
+    #[test]
+    fn mtrace1_validation() {
+        assert!(MTrace1::new(0.0, vec![1.0]).is_err());
+        assert!(MTrace1::new(1.0, vec![1.0]).is_err());
+        assert!(MTrace1::new(0.5, vec![]).is_err());
+        assert!(MTrace1::new(0.5, vec![-1.0]).is_err());
+    }
+
+    #[test]
+    fn closed_network_conserves_and_saturates() {
+        // Highly loaded closed network: throughput approaches 1/max demand.
+        let front = Map2::poisson(1.0 / 0.01).unwrap(); // 10 ms
+        let db = Map2::poisson(1.0 / 0.004).unwrap(); // 4 ms
+        let net = ClosedMapNetwork::new(60, 0.1, front, db).unwrap();
+        let r = net.run(400.0, 40.0, 11).unwrap();
+        // Bottleneck is the front server: X ~ 100/s, U_front ~ 1.
+        assert!((r.throughput - 100.0).abs() < 5.0, "X = {}", r.throughput);
+        assert!(r.utilization_front > 0.95, "U_fs = {}", r.utilization_front);
+        assert!((r.utilization_db - 0.4).abs() < 0.05, "U_db = {}", r.utilization_db);
+        // Queue lengths: jobs in system <= population.
+        assert!(r.mean_jobs_front + r.mean_jobs_db <= 60.0 + 1e-9);
+    }
+
+    #[test]
+    fn closed_network_light_load_matches_demand() {
+        // One customer: X = 1 / (Z + S_fs + S_db).
+        let front = Map2::poisson(1.0 / 0.02).unwrap();
+        let db = Map2::poisson(1.0 / 0.03).unwrap();
+        let net = ClosedMapNetwork::new(1, 0.45, front, db).unwrap();
+        let r = net.run(4000.0, 100.0, 5).unwrap();
+        let expected = 1.0 / (0.45 + 0.02 + 0.03);
+        assert!(
+            (r.throughput - expected).abs() / expected < 0.05,
+            "X = {} vs {}",
+            r.throughput,
+            expected
+        );
+    }
+
+    #[test]
+    fn bursty_db_lowers_throughput_vs_poisson() {
+        // Same mean demands; bursty DB service must hurt (the paper's core
+        // phenomenon).
+        let front = Map2::poisson(1.0 / 0.008).unwrap();
+        let db_smooth = Map2::poisson(1.0 / 0.007).unwrap();
+        let db_bursty = Map2Fitter::new(0.007, 200.0, 0.02)
+            .fit()
+            .unwrap()
+            .map();
+        let pop = 40;
+        let smooth = ClosedMapNetwork::new(pop, 0.2, front, db_smooth)
+            .unwrap()
+            .run(600.0, 60.0, 21)
+            .unwrap();
+        let bursty = ClosedMapNetwork::new(pop, 0.2, front, db_bursty)
+            .unwrap()
+            .run(600.0, 60.0, 21)
+            .unwrap();
+        assert!(
+            bursty.throughput < 0.9 * smooth.throughput,
+            "bursty X = {} vs smooth X = {}",
+            bursty.throughput,
+            smooth.throughput
+        );
+    }
+
+    #[test]
+    fn closed_network_validation() {
+        let m = Map2::poisson(1.0).unwrap();
+        assert!(ClosedMapNetwork::new(0, 1.0, m, m).is_err());
+        assert!(ClosedMapNetwork::new(1, 0.0, m, m).is_err());
+        let net = ClosedMapNetwork::new(1, 1.0, m, m).unwrap();
+        assert!(net.run(10.0, 20.0, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = Map2::poisson(10.0).unwrap();
+        let net = ClosedMapNetwork::new(5, 0.5, m, m).unwrap();
+        let a = net.run(200.0, 20.0, 33).unwrap();
+        let b = net.run(200.0, 20.0, 33).unwrap();
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.utilization_db, b.utilization_db);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+
+use burstcap_sim::engine::EventQueue;
+use burstcap_sim::queues::MTrace1;
+use burstcap_sim::station::PsServer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event calendar is a stable priority queue: pops come out in
+    /// non-decreasing time order, FIFO among ties.
+    #[test]
+    fn calendar_orders_events(times in prop::collection::vec(0.0f64..1e6, 1..300)) {
+        let mut q = EventQueue::new();
+        for (k, &t) in times.iter().enumerate() {
+            q.schedule(t, k);
+        }
+        let mut last_t = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last_t);
+            last_t = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// A PS server conserves work: a batch of jobs arriving together
+    /// completes exactly at the cumulative-work boundary, in
+    /// shortest-remaining order.
+    #[test]
+    fn ps_server_conserves_work(works in prop::collection::vec(0.01f64..10.0, 1..20)) {
+        let mut s = PsServer::new();
+        for (id, &w) in works.iter().enumerate() {
+            s.arrive(0.0, id as u64, w);
+        }
+        let total: f64 = works.iter().sum();
+        // Drain the server: completions happen at increasing times and the
+        // last one exactly when all work is done.
+        let mut now = 0.0;
+        let mut completed = 0;
+        while let Some(t) = s.next_completion(now) {
+            prop_assert!(t >= now - 1e-9);
+            now = t;
+            s.complete(now);
+            completed += 1;
+        }
+        prop_assert_eq!(completed, works.len());
+        prop_assert!((now - total).abs() < 1e-6, "drained at {now}, work {total}");
+    }
+
+    /// M/Trace/1 utilization converges to the configured rho and response
+    /// times dominate service times.
+    #[test]
+    fn mtrace1_utilization_matches_rho(rho in 0.1f64..0.9, seed in any::<u64>()) {
+        let trace = vec![1.0; 30_000];
+        let r = MTrace1::new(rho, trace).unwrap().run(seed).unwrap();
+        prop_assert!((r.utilization() - rho).abs() < 0.05, "got {}", r.utilization());
+        prop_assert!(r.response_time_mean() >= 1.0 - 1e-9);
+        prop_assert!(r.response_time_p95() >= r.response_time_mean());
+    }
+
+    /// Response times are permutation-sensitive but workload-conserving:
+    /// total service time (hence utilization denominator) is identical
+    /// across reorderings of the same trace.
+    #[test]
+    fn mtrace1_utilization_insensitive_to_order(seed in any::<u64>()) {
+        let base = burstcap_map::trace::hyperexp_trace(20_000, 1.0, 3.0, seed).unwrap();
+        let sorted = burstcap_map::trace::impose_burstiness(
+            &base,
+            burstcap_map::trace::BurstProfile::Sorted,
+            seed,
+        )
+        .unwrap();
+        let a = MTrace1::new(0.5, base).unwrap().run(3).unwrap();
+        let b = MTrace1::new(0.5, sorted).unwrap().run(3).unwrap();
+        prop_assert!((a.utilization() - b.utilization()).abs() < 0.1);
+        // Bursty order can only hurt or match mean response (allow noise).
+        prop_assert!(b.response_time_mean() > 0.5 * a.response_time_mean());
+    }
+}

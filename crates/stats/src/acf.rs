@@ -1,0 +1,185 @@
+//! Autocorrelation analysis of time series.
+//!
+//! The index of dispersion of a service process (the paper's Eq. (1)) is
+//! `I = SCV * (1 + 2 * sum_k rho_k)` where `rho_k` is the lag-`k`
+//! autocorrelation coefficient of the service-time series. This module
+//! provides the `rho_k` estimators and the truncated-sum machinery that makes
+//! that definition usable on finite traces.
+
+use crate::descriptive::{mean, variance};
+use crate::StatsError;
+
+/// Lag-`k` autocorrelation coefficient of a series.
+///
+/// Uses the standard biased estimator (normalizing by `n` and the global
+/// variance), which is the convention that keeps the estimated autocorrelation
+/// function positive semidefinite.
+///
+/// # Errors
+/// Returns an error if the series has fewer than `k + 2` samples or zero
+/// variance.
+///
+/// # Example
+/// ```
+/// // An alternating series is perfectly negatively correlated at lag 1.
+/// let series = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+/// let rho1 = burstcap_stats::acf::autocorrelation(&series, 1)?;
+/// assert!(rho1 < -0.8);
+/// # Ok::<(), burstcap_stats::StatsError>(())
+/// ```
+pub fn autocorrelation(data: &[f64], k: usize) -> Result<f64, StatsError> {
+    if data.len() < k + 2 {
+        return Err(StatsError::TraceTooShort { got: data.len(), needed: k + 2 });
+    }
+    let m = mean(data)?;
+    let var = variance(data)?;
+    if var == 0.0 {
+        return Err(StatsError::Degenerate { reason: "zero variance".into() });
+    }
+    let n = data.len();
+    let cov: f64 = data[..n - k]
+        .iter()
+        .zip(&data[k..])
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum::<f64>()
+        / n as f64;
+    Ok(cov / var)
+}
+
+/// Autocorrelation function for lags `1..=max_lag`.
+///
+/// # Errors
+/// Same conditions as [`autocorrelation`] at the largest requested lag.
+pub fn acf(data: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    (1..=max_lag).map(|k| autocorrelation(data, k)).collect()
+}
+
+/// Sum of autocorrelations `sum_{k=1}^{max_lag} rho_k`, the quantity inside
+/// the paper's Eq. (1).
+///
+/// The infinite sum is truncated at `max_lag`; see
+/// [`crate::dispersion::index_of_dispersion_acf`] for the full Eq. (1)
+/// estimator and the discussion of why the paper prefers the counting-process
+/// estimator of its Figure 2 for noisy measurements.
+pub fn acf_sum(data: &[f64], max_lag: usize) -> Result<f64, StatsError> {
+    Ok(acf(data, max_lag)?.iter().sum())
+}
+
+/// Effective decorrelation lag: smallest lag at which `|rho_k|` drops below
+/// `threshold`, or `None` if it never does within `max_lag`.
+///
+/// Useful for choosing truncation points and for diagnosing long-range
+/// dependence (where no such lag exists for any practical `max_lag`).
+pub fn decorrelation_lag(
+    data: &[f64],
+    threshold: f64,
+    max_lag: usize,
+) -> Result<Option<usize>, StatsError> {
+    if threshold <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "threshold",
+            reason: format!("must be positive, got {threshold}"),
+        });
+    }
+    for k in 1..=max_lag {
+        if autocorrelation(data, k)?.abs() < threshold {
+            return Ok(Some(k));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar1(phi: f64, n: usize) -> Vec<f64> {
+        // Deterministic AR(1)-like series driven by a fixed pseudo-random
+        // sequence (linear congruential) so tests are reproducible without a
+        // rand dependency in unit scope.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut x = 0.0;
+        (0..n)
+            .map(|_| {
+                x = phi * x + next();
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constant_series_is_degenerate() {
+        assert!(matches!(
+            autocorrelation(&[1.0; 50], 1),
+            Err(StatsError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn iid_series_has_negligible_acf() {
+        let data = ar1(0.0, 20_000);
+        let rho1 = autocorrelation(&data, 1).unwrap();
+        assert!(rho1.abs() < 0.05, "rho1 = {rho1}");
+    }
+
+    #[test]
+    fn positive_ar1_has_positive_acf_decaying() {
+        let data = ar1(0.8, 50_000);
+        let rho1 = autocorrelation(&data, 1).unwrap();
+        let rho5 = autocorrelation(&data, 5).unwrap();
+        assert!(rho1 > 0.7, "rho1 = {rho1}");
+        assert!(rho5 < rho1, "acf must decay: rho5 = {rho5} >= rho1 = {rho1}");
+        assert!(rho5 > 0.1);
+    }
+
+    #[test]
+    fn acf_vector_matches_scalar_calls() {
+        let data = ar1(0.5, 5_000);
+        let v = acf(&data, 4).unwrap();
+        assert_eq!(v.len(), 4);
+        for (i, &rho) in v.iter().enumerate() {
+            assert_eq!(rho, autocorrelation(&data, i + 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn acf_sum_of_iid_is_small() {
+        let data = ar1(0.0, 50_000);
+        let s = acf_sum(&data, 20).unwrap();
+        assert!(s.abs() < 0.2, "sum = {s}");
+    }
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        assert!(matches!(
+            autocorrelation(&[1.0, 2.0], 1),
+            Err(StatsError::TraceTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn decorrelation_lag_finds_cutoff() {
+        let data = ar1(0.6, 50_000);
+        let lag = decorrelation_lag(&data, 0.05, 50).unwrap();
+        assert!(lag.is_some());
+        assert!(lag.unwrap() > 1, "an AR(1) with phi=0.6 stays correlated past lag 1");
+    }
+
+    #[test]
+    fn decorrelation_lag_rejects_bad_threshold() {
+        assert!(decorrelation_lag(&[1.0, 2.0, 3.0, 4.0], 0.0, 2).is_err());
+    }
+
+    #[test]
+    fn lag1_of_perfectly_alternating_series_is_minus_one_ish() {
+        let data: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let rho1 = autocorrelation(&data, 1).unwrap();
+        assert!(rho1 < -0.99);
+        let rho2 = autocorrelation(&data, 2).unwrap();
+        assert!(rho2 > 0.99);
+    }
+}

@@ -1,0 +1,246 @@
+//! Bottleneck-switch detection from paired utilization time series.
+//!
+//! Section 3.2 of the paper identifies the *bottleneck switch* symptom: the
+//! database server's utilization periodically climbs well above the front
+//! server's even though their long-run averages are close. This module turns
+//! that visual diagnosis (the paper's Figure 5) into a quantitative detector
+//! that the testbed experiments and examples reuse.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Which server dominated a monitoring window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dominant {
+    /// The first series (by convention the front/application server).
+    First,
+    /// The second series (by convention the database server).
+    Second,
+    /// Utilizations within the margin of each other: no clear bottleneck.
+    Neither,
+}
+
+/// Summary of bottleneck behaviour over a monitoring interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckReport {
+    /// Mean utilization of the first (front) series.
+    pub mean_first: f64,
+    /// Mean utilization of the second (database) series.
+    pub mean_second: f64,
+    /// Fraction of windows in which the first series dominated by the margin.
+    pub fraction_first: f64,
+    /// Fraction of windows in which the second series dominated by the margin.
+    pub fraction_second: f64,
+    /// Fraction of windows with no dominant server.
+    pub fraction_neither: f64,
+    /// Number of times the dominant server flipped between `First` and
+    /// `Second` (ignoring `Neither` interludes).
+    pub switches: usize,
+    /// Per-window dominance labels (same length as the inputs).
+    pub timeline: Vec<Dominant>,
+}
+
+impl BottleneckReport {
+    /// Heuristic verdict: does this interval exhibit a bottleneck switch?
+    ///
+    /// True when each server dominates at least `min_share` of the windows
+    /// and at least one flip occurred — i.e. the bottleneck genuinely
+    /// alternates rather than residing at one tier with occasional noise.
+    pub fn has_switch(&self, min_share: f64) -> bool {
+        self.fraction_first >= min_share && self.fraction_second >= min_share && self.switches > 0
+    }
+}
+
+/// Detector configuration.
+///
+/// `margin` is the absolute utilization gap needed to call a server dominant
+/// in a window (defaults to 0.1, i.e. ten percentage points, which comfortably
+/// exceeds `sar` sampling noise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BottleneckDetector {
+    margin: f64,
+}
+
+impl Default for BottleneckDetector {
+    fn default() -> Self {
+        BottleneckDetector { margin: 0.1 }
+    }
+}
+
+impl BottleneckDetector {
+    /// Create a detector with the default margin (0.1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the dominance margin (absolute utilization difference).
+    pub fn margin(mut self, margin: f64) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// Analyze paired utilization series (same sampling grid).
+    ///
+    /// # Errors
+    /// Rejects mismatched lengths, empty input, invalid utilizations, and a
+    /// non-positive margin.
+    pub fn analyze(&self, first: &[f64], second: &[f64]) -> Result<BottleneckReport, StatsError> {
+        if first.len() != second.len() {
+            return Err(StatsError::LengthMismatch { left: first.len(), right: second.len() });
+        }
+        if first.is_empty() {
+            return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
+        }
+        if self.margin <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "margin",
+                reason: format!("must be positive, got {}", self.margin),
+            });
+        }
+        for series in [first, second] {
+            if let Some(bad) = series.iter().find(|u| !(0.0..=1.0).contains(*u) || u.is_nan()) {
+                return Err(StatsError::InvalidParameter {
+                    name: "utilization",
+                    reason: format!("samples must lie in [0, 1], found {bad}"),
+                });
+            }
+        }
+
+        let n = first.len() as f64;
+        let timeline: Vec<Dominant> = first
+            .iter()
+            .zip(second)
+            .map(|(&a, &b)| {
+                if a - b > self.margin {
+                    Dominant::First
+                } else if b - a > self.margin {
+                    Dominant::Second
+                } else {
+                    Dominant::Neither
+                }
+            })
+            .collect();
+
+        let count = |d: Dominant| timeline.iter().filter(|&&x| x == d).count() as f64 / n;
+
+        // Count flips of the dominant server, skipping Neither windows.
+        let mut switches = 0;
+        let mut last: Option<Dominant> = None;
+        for &d in &timeline {
+            if d == Dominant::Neither {
+                continue;
+            }
+            if let Some(prev) = last {
+                if prev != d {
+                    switches += 1;
+                }
+            }
+            last = Some(d);
+        }
+
+        Ok(BottleneckReport {
+            mean_first: first.iter().sum::<f64>() / n,
+            mean_second: second.iter().sum::<f64>() / n,
+            fraction_first: count(Dominant::First),
+            fraction_second: count(Dominant::Second),
+            fraction_neither: count(Dominant::Neither),
+            switches,
+            timeline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_front_bottleneck_has_no_switch() {
+        let fs = vec![0.95; 100];
+        let db = vec![0.3; 100];
+        let r = BottleneckDetector::new().analyze(&fs, &db).unwrap();
+        assert_eq!(r.switches, 0);
+        assert!((r.fraction_first - 1.0).abs() < 1e-12);
+        assert!(!r.has_switch(0.2));
+    }
+
+    #[test]
+    fn alternating_bottleneck_is_detected() {
+        // 20-window regimes alternating between FS-bound and DB-bound.
+        let mut fs = Vec::new();
+        let mut db = Vec::new();
+        for block in 0..10 {
+            for _ in 0..20 {
+                if block % 2 == 0 {
+                    fs.push(0.9);
+                    db.push(0.2);
+                } else {
+                    fs.push(0.3);
+                    db.push(0.95);
+                }
+            }
+        }
+        let r = BottleneckDetector::new().analyze(&fs, &db).unwrap();
+        assert_eq!(r.switches, 9);
+        assert!(r.has_switch(0.3));
+        assert!((r.fraction_first - 0.5).abs() < 1e-12);
+        assert!((r.fraction_second - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_utilizations_are_neither() {
+        let fs = vec![0.8; 50];
+        let db = vec![0.75; 50];
+        let r = BottleneckDetector::new().analyze(&fs, &db).unwrap();
+        assert!((r.fraction_neither - 1.0).abs() < 1e-12);
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn neither_windows_do_not_break_switch_counting() {
+        let fs = [0.9, 0.8, 0.5, 0.2, 0.9];
+        let db = [0.2, 0.75, 0.55, 0.9, 0.2];
+        // Dominance: First, Neither, Neither, Second, First -> 2 switches.
+        let r = BottleneckDetector::new().analyze(&fs, &db).unwrap();
+        assert_eq!(r.switches, 2);
+    }
+
+    #[test]
+    fn margin_is_respected() {
+        let fs = [0.6, 0.6];
+        let db = [0.4, 0.4];
+        let strict = BottleneckDetector::new().margin(0.3).analyze(&fs, &db).unwrap();
+        assert!((strict.fraction_neither - 1.0).abs() < 1e-12);
+        let loose = BottleneckDetector::new().margin(0.1).analyze(&fs, &db).unwrap();
+        assert!((loose.fraction_first - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_mismatched_series() {
+        assert!(BottleneckDetector::new().analyze(&[0.5], &[0.5, 0.6]).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_utilization() {
+        assert!(BottleneckDetector::new().analyze(&[1.5], &[0.5]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(BottleneckDetector::new().analyze(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_positive_margin() {
+        assert!(BottleneckDetector::new().margin(0.0).analyze(&[0.5], &[0.5]).is_err());
+    }
+
+    #[test]
+    fn timeline_has_input_length() {
+        let fs = vec![0.9; 7];
+        let db = vec![0.1; 7];
+        let r = BottleneckDetector::new().analyze(&fs, &db).unwrap();
+        assert_eq!(r.timeline.len(), 7);
+    }
+}

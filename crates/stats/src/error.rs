@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the statistics routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input series is empty or shorter than the estimator requires.
+    ///
+    /// Mirrors step (b) of the paper's Figure 2 algorithm: "if the set of
+    /// values has less than 100 elements, stop and collect new measures
+    /// because the trace is too short".
+    TraceTooShort {
+        /// Number of samples the caller provided.
+        got: usize,
+        /// Minimum number of samples the estimator needs.
+        needed: usize,
+    },
+    /// Two paired input series have different lengths.
+    LengthMismatch {
+        /// Length of the first series.
+        left: usize,
+        /// Length of the second series.
+        right: usize,
+    },
+    /// A parameter is outside its valid domain (e.g. a negative sampling
+    /// resolution or a utilization outside `[0, 1]`).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The input series is degenerate (zero variance, all idle windows, ...)
+    /// so the requested statistic is undefined.
+    Degenerate {
+        /// Description of what made the input degenerate.
+        reason: String,
+    },
+    /// An iterative estimator failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::TraceTooShort { got, needed } => {
+                write!(f, "trace too short: got {got} samples, need at least {needed}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired series length mismatch: {left} vs {right}")
+            }
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::Degenerate { reason } => write!(f, "degenerate input: {reason}"),
+            StatsError::NoConvergence { iterations } => {
+                write!(f, "estimator did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = StatsError::TraceTooShort { got: 3, needed: 100 };
+        let text = err.to_string();
+        assert!(text.contains('3'));
+        assert!(text.contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn Error> = Box::new(StatsError::Degenerate {
+            reason: "zero variance".into(),
+        });
+        assert!(err.to_string().contains("zero variance"));
+    }
+}

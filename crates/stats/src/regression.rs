@@ -1,0 +1,332 @@
+//! Least-squares regression, specialized for service-demand estimation.
+//!
+//! The paper (Section 3.4, following Zhang et al.'s R-Capriccio) determines
+//! the mean service time of each tier "with linear regression methods from the
+//! CPU utilization samples measured across time": by the utilization law, the
+//! busy time accumulated in window `k` is `U_k * T = S * n_k + noise`, so the
+//! mean demand `S` is the through-origin regression slope of busy time on
+//! completion counts. The multi-class variant regresses on per-class counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Slope of the least-squares line through the origin, `y ≈ slope * x`.
+///
+/// # Errors
+/// Rejects mismatched or empty inputs and an all-zero `x` (slope undefined).
+pub fn slope_through_origin(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    if x.is_empty() {
+        return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
+    }
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    if sxx == 0.0 {
+        return Err(StatsError::Degenerate { reason: "all regressors are zero".into() });
+    }
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    Ok(sxy / sxx)
+}
+
+/// Ordinary least squares fit `y ≈ intercept + slope * x`.
+///
+/// # Errors
+/// Rejects mismatched inputs, fewer than two points, and zero variance in `x`.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<(f64, f64), StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::TraceTooShort { got: x.len(), needed: 2 });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum();
+    if sxx == 0.0 {
+        return Err(StatsError::Degenerate { reason: "zero variance in regressor".into() });
+    }
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let slope = sxy / sxx;
+    Ok((my - slope * mx, slope))
+}
+
+/// Coefficient of determination of predictions `yhat` against observations `y`.
+pub fn r_squared(y: &[f64], yhat: &[f64]) -> Result<f64, StatsError> {
+    if y.len() != yhat.len() {
+        return Err(StatsError::LengthMismatch { left: y.len(), right: yhat.len() });
+    }
+    if y.is_empty() {
+        return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
+    }
+    let my = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_tot: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
+    if ss_tot == 0.0 {
+        return Err(StatsError::Degenerate { reason: "zero variance in response".into() });
+    }
+    let ss_res: f64 = y.iter().zip(yhat).map(|(a, b)| (a - b) * (a - b)).sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// A mean service-demand estimate produced by utilization-law regression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandEstimate {
+    /// Estimated mean service time per completion (seconds).
+    pub mean_service_time: f64,
+    /// Goodness of fit of the regression.
+    pub r_squared: f64,
+}
+
+/// Estimate the mean per-request service demand of one server from
+/// utilization samples and completion counts (utilization-law regression).
+///
+/// `U_k * resolution ≈ S * n_k`; the returned demand is the through-origin
+/// slope.
+///
+/// # Errors
+/// Rejects invalid utilizations, non-positive resolution, mismatched series,
+/// and traces with no completions.
+///
+/// # Example
+/// ```
+/// use burstcap_stats::regression::estimate_demand;
+///
+/// // 25 completions per second at 50% utilization -> demand = 0.02 s.
+/// let util = vec![0.5_f64; 120];
+/// let n = vec![25_u64; 120];
+/// let d = estimate_demand(&util, &n, 1.0)?;
+/// assert!((d.mean_service_time - 0.02).abs() < 1e-12);
+/// # Ok::<(), burstcap_stats::StatsError>(())
+/// ```
+pub fn estimate_demand(
+    utilization: &[f64],
+    completions: &[u64],
+    resolution: f64,
+) -> Result<DemandEstimate, StatsError> {
+    let busy = crate::busy::busy_times(utilization, resolution)?;
+    if busy.len() != completions.len() {
+        return Err(StatsError::LengthMismatch { left: busy.len(), right: completions.len() });
+    }
+    let x: Vec<f64> = completions.iter().map(|&n| n as f64).collect();
+    let slope = slope_through_origin(&x, &busy)?;
+    let yhat: Vec<f64> = x.iter().map(|v| slope * v).collect();
+    let r2 = r_squared(&busy, &yhat).unwrap_or(1.0);
+    Ok(DemandEstimate { mean_service_time: slope, r_squared: r2 })
+}
+
+/// Multi-class utilization-law regression:
+/// `U_k * resolution ≈ sum_c S_c * n_{k,c}`.
+///
+/// `class_counts[k][c]` is the number of class-`c` completions in window `k`.
+/// Solves the normal equations with Gaussian elimination (the class count is
+/// small — 14 for TPC-W).
+///
+/// # Errors
+/// Rejects ragged or empty count matrices, mismatched lengths, and singular
+/// normal equations (e.g. two classes with perfectly proportional counts).
+pub fn estimate_demands_multiclass(
+    utilization: &[f64],
+    class_counts: &[Vec<u64>],
+    resolution: f64,
+) -> Result<Vec<f64>, StatsError> {
+    let busy = crate::busy::busy_times(utilization, resolution)?;
+    if busy.len() != class_counts.len() {
+        return Err(StatsError::LengthMismatch {
+            left: busy.len(),
+            right: class_counts.len(),
+        });
+    }
+    let Some(first) = class_counts.first() else {
+        return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
+    };
+    let c = first.len();
+    if c == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "class_counts",
+            reason: "zero classes".into(),
+        });
+    }
+    if class_counts.iter().any(|row| row.len() != c) {
+        return Err(StatsError::InvalidParameter {
+            name: "class_counts",
+            reason: "ragged count matrix".into(),
+        });
+    }
+
+    // Normal equations: (X^T X) s = X^T b.
+    let mut xtx = vec![vec![0.0f64; c]; c];
+    let mut xtb = vec![0.0f64; c];
+    for (row, &b) in class_counts.iter().zip(&busy) {
+        for i in 0..c {
+            let xi = row[i] as f64;
+            xtb[i] += xi * b;
+            for j in i..c {
+                xtx[i][j] += xi * row[j] as f64;
+            }
+        }
+    }
+    for i in 0..c {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+    }
+    solve_dense(&mut xtx, &mut xtb).ok_or(StatsError::Degenerate {
+        reason: "singular normal equations: class counts are collinear".into(),
+    })?;
+    Ok(xtb)
+}
+
+/// In-place Gaussian elimination with partial pivoting; solution lands in `b`.
+/// Returns `None` if the matrix is (numerically) singular.
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<()> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * b[k];
+        }
+        b[col] = acc / a[col][col];
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn through_origin_recovers_slope() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((slope_through_origin(&x, &y).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_origin_rejects_zero_x() {
+        assert!(slope_through_origin(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let (b0, b1) = linear_fit(&x, &y).unwrap();
+        assert!((b0 - 1.0).abs() < 1e-12);
+        assert!((b1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_is_one_for_perfect_fit() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((r_squared(&y, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_estimation_exact_under_noiseless_law() {
+        let util = vec![0.8; 100];
+        let n = vec![40u64; 100];
+        let d = estimate_demand(&util, &n, 1.0).unwrap();
+        assert!((d.mean_service_time - 0.02).abs() < 1e-12);
+        assert!(d.r_squared > 0.999 || n.iter().all(|&v| v == 40));
+    }
+
+    #[test]
+    fn demand_estimation_with_varying_load() {
+        // Demand 5 ms; vary the per-window load.
+        let counts: Vec<u64> = (0..200).map(|k| 50 + (k % 100) as u64).collect();
+        let util: Vec<f64> = counts.iter().map(|&n| (n as f64) * 0.005).collect();
+        let d = estimate_demand(&util, &counts, 1.0).unwrap();
+        assert!((d.mean_service_time - 0.005).abs() < 1e-9);
+        assert!(d.r_squared > 0.999);
+    }
+
+    #[test]
+    fn demand_estimation_robust_to_noise() {
+        // Add deterministic "noise" to utilization; slope should stay close.
+        let counts: Vec<u64> = (0..500).map(|k| 20 + (k * 7 % 80) as u64).collect();
+        let util: Vec<f64> = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| (n as f64 * 0.008 + 0.01 * ((k % 5) as f64 - 2.0) * 0.01).clamp(0.0, 1.0))
+            .collect();
+        let d = estimate_demand(&util, &counts, 1.0).unwrap();
+        assert!(
+            (d.mean_service_time - 0.008).abs() < 5e-4,
+            "slope = {}",
+            d.mean_service_time
+        );
+    }
+
+    #[test]
+    fn multiclass_recovers_two_demands() {
+        // Class demands 10 ms and 2 ms with varying mixes.
+        let mut counts = Vec::new();
+        let mut util = Vec::new();
+        for k in 0..300 {
+            let a = 10 + (k % 50) as u64;
+            let b = 100 - (k % 70) as u64;
+            counts.push(vec![a, b]);
+            util.push(((a as f64) * 0.010 + (b as f64) * 0.002).min(1.0));
+        }
+        let s = estimate_demands_multiclass(&util, &counts, 1.0).unwrap();
+        assert!((s[0] - 0.010).abs() < 1e-9, "s0 = {}", s[0]);
+        assert!((s[1] - 0.002).abs() < 1e-9, "s1 = {}", s[1]);
+    }
+
+    #[test]
+    fn multiclass_rejects_collinear_counts() {
+        // Class 1 always exactly 2x class 0 -> singular.
+        let counts: Vec<Vec<u64>> = (0..100).map(|k| vec![k % 10 + 1, 2 * (k % 10 + 1)]).collect();
+        let util: Vec<f64> = counts.iter().map(|r| r[0] as f64 * 0.01).collect();
+        assert!(matches!(
+            estimate_demands_multiclass(&util, &counts, 1.0),
+            Err(StatsError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn multiclass_rejects_ragged_matrix() {
+        let counts = vec![vec![1u64, 2], vec![3u64]];
+        let util = vec![0.1, 0.2];
+        assert!(estimate_demands_multiclass(&util, &counts, 1.0).is_err());
+    }
+
+    #[test]
+    fn solve_dense_3x3() {
+        let mut a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let mut b = vec![8.0, -11.0, -3.0];
+        solve_dense(&mut a, &mut b).unwrap();
+        assert!((b[0] - 2.0).abs() < 1e-9);
+        assert!((b[1] - 3.0).abs() < 1e-9);
+        assert!((b[2] - -1.0).abs() < 1e-9);
+    }
+}

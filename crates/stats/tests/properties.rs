@@ -1,0 +1,149 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+
+use burstcap_stats::acf::autocorrelation;
+use burstcap_stats::busy::busy_times;
+use burstcap_stats::descriptive::{mean, percentile, scv, variance, RunningStats, Summary};
+use burstcap_stats::dispersion::DispersionEstimator;
+use burstcap_stats::regression::{estimate_demand, linear_fit, slope_through_origin};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford accumulation agrees with batch formulas on any sample.
+    #[test]
+    fn running_stats_match_batch(data in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut acc = RunningStats::new();
+        data.iter().for_each(|&x| acc.push(x));
+        prop_assert!((acc.mean() - mean(&data).unwrap()).abs() < 1e-6);
+        prop_assert!((acc.variance() - variance(&data).unwrap()).abs() < 1.0);
+    }
+
+    /// Variance is translation-invariant and scales quadratically.
+    #[test]
+    fn variance_affine_laws(
+        data in prop::collection::vec(-1e3f64..1e3, 2..100),
+        shift in -1e3f64..1e3,
+        scale in 0.1f64..10.0,
+    ) {
+        let v0 = variance(&data).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        prop_assert!((variance(&shifted).unwrap() - v0).abs() < 1e-6 * (1.0 + v0));
+        let scaled: Vec<f64> = data.iter().map(|x| x * scale).collect();
+        prop_assert!(
+            (variance(&scaled).unwrap() - v0 * scale * scale).abs()
+                < 1e-6 * (1.0 + v0 * scale * scale)
+        );
+    }
+
+    /// The summary's percentiles are ordered: min <= median <= p95 <= max.
+    #[test]
+    fn summary_percentile_order(data in prop::collection::vec(0.001f64..1e5, 1..200)) {
+        let s = Summary::from_slice(&data).unwrap();
+        prop_assert!(s.min <= s.median + 1e-12);
+        prop_assert!(s.median <= s.p95 + 1e-12);
+        prop_assert!(s.p95 <= s.max + 1e-12);
+    }
+
+    /// Percentile of a constant sample is that constant for any p.
+    #[test]
+    fn percentile_of_constant(c in 0.1f64..1e3, p in 0.0f64..1.0, n in 1usize..50) {
+        let data = vec![c; n];
+        prop_assert!((percentile(&data, p).unwrap() - c).abs() < 1e-12);
+    }
+
+    /// Autocorrelation is bounded by 1 in magnitude (up to estimator noise).
+    #[test]
+    fn acf_bounded(data in prop::collection::vec(-1e3f64..1e3, 10..200), k in 1usize..5) {
+        if variance(&data).unwrap() > 1e-9 {
+            let rho = autocorrelation(&data, k).unwrap();
+            prop_assert!(rho.abs() <= 1.0 + 1e-9, "rho = {rho}");
+        }
+    }
+
+    /// SCV is scale-invariant.
+    #[test]
+    fn scv_scale_invariant(
+        data in prop::collection::vec(0.01f64..1e3, 2..100),
+        scale in 0.1f64..100.0,
+    ) {
+        let base = scv(&data).unwrap();
+        let scaled: Vec<f64> = data.iter().map(|x| x * scale).collect();
+        prop_assert!((scv(&scaled).unwrap() - base).abs() < 1e-8 * (1.0 + base));
+    }
+
+    /// Through-origin regression on exact proportional data recovers the
+    /// slope for any positive inputs.
+    #[test]
+    fn regression_exact_recovery(
+        xs in prop::collection::vec(0.1f64..1e3, 1..100),
+        slope in 0.001f64..100.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * slope).collect();
+        let est = slope_through_origin(&xs, &ys).unwrap();
+        prop_assert!((est - slope).abs() / slope < 1e-9);
+    }
+
+    /// Linear fit residual of exactly linear data is zero.
+    #[test]
+    fn linear_fit_exact(
+        xs in prop::collection::vec(-1e2f64..1e2, 2..50),
+        a in -10.0f64..10.0,
+        b in -10.0f64..10.0,
+    ) {
+        // Ensure x has spread.
+        let spread: f64 = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let (ia, ib) = linear_fit(&xs, &ys).unwrap();
+        prop_assert!((ia - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((ib - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+
+    /// Busy times never exceed the window resolution.
+    #[test]
+    fn busy_times_bounded(
+        util in prop::collection::vec(0.0f64..1.0, 1..100),
+        resolution in 0.1f64..100.0,
+    ) {
+        let b = busy_times(&util, resolution).unwrap();
+        prop_assert!(b.iter().all(|&x| x >= 0.0 && x <= resolution + 1e-12));
+    }
+
+    /// The demand regressed from noiseless utilization-law windows matches
+    /// the constructed demand for any load pattern.
+    #[test]
+    fn demand_regression_noiseless(
+        counts in prop::collection::vec(1u64..500, 5..200),
+        demand in 1e-5f64..1e-2,
+    ) {
+        let resolution = 10.0;
+        let util: Vec<f64> = counts
+            .iter()
+            .map(|&n| ((n as f64) * demand / resolution).min(1.0))
+            .collect();
+        // Skip saturated patterns where clamping breaks the law.
+        prop_assume!(util.iter().all(|&u| u < 1.0));
+        let d = estimate_demand(&util, &counts, resolution).unwrap();
+        prop_assert!((d.mean_service_time - demand).abs() / demand < 1e-9);
+    }
+
+    /// The Figure 2 estimator returns a non-negative, finite index for any
+    /// plausible monitoring series with enough windows.
+    #[test]
+    fn dispersion_estimator_total(
+        counts in prop::collection::vec(1u64..1000, 150..400),
+        util_base in 0.05f64..0.95,
+    ) {
+        let util = vec![util_base; counts.len()];
+        let est = DispersionEstimator::new(5.0)
+            .tolerance(0.2)
+            .estimate(&util, &counts)
+            .unwrap();
+        prop_assert!(est.index_of_dispersion().is_finite());
+        prop_assert!(est.index_of_dispersion() >= 0.0);
+        prop_assert!(!est.curve().is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or running the testbed simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TpcwError {
+    /// A configuration parameter is outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The measurement interval ended with no observations.
+    NoObservations {
+        /// What was being measured.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TpcwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpcwError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            TpcwError::NoObservations { what } => {
+                write!(f, "testbed run produced no observations for {what}")
+            }
+        }
+    }
+}
+
+impl Error for TpcwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TpcwError::InvalidParameter { name: "ebs", reason: "zero".into() };
+        assert!(e.to_string().contains("ebs"));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<TpcwError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! Monitoring output of a testbed run — the coarse series the paper's
+//! estimators consume, in the same shape `sar` and HP Diagnostics provide.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mix::Mix;
+use crate::TpcwError;
+
+/// Which tier a monitoring series refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierId {
+    /// Front (web + application) server.
+    Front,
+    /// Database server.
+    Db,
+}
+
+/// Paired `(U_k, n_k)` series at a common resolution — the exact input of
+/// the paper's Figure 2 algorithm and of utilization-law regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitoringSeries {
+    /// Window length in seconds.
+    pub resolution: f64,
+    /// Per-window utilization in `[0, 1]`.
+    pub utilization: Vec<f64>,
+    /// Per-window completed transactions.
+    pub completions: Vec<u64>,
+}
+
+/// Everything a testbed run produces after warm-up/cool-down trimming.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestbedRun {
+    /// The transaction mix that was run.
+    pub mix: Mix,
+    /// Number of emulated browsers.
+    pub ebs: usize,
+    /// Mean think time (seconds).
+    pub think_time: f64,
+    /// Measured interval length (seconds, after trimming).
+    pub measured_seconds: f64,
+    /// Front-server utilization at the fine (sar-like) resolution.
+    pub fs_util: Vec<f64>,
+    /// Database utilization at the fine resolution.
+    pub db_util: Vec<f64>,
+    /// Front-server transaction completions per coarse (Diagnostics-like)
+    /// window.
+    pub fs_completions: Vec<u64>,
+    /// Database transaction completions per coarse window.
+    pub db_completions: Vec<u64>,
+    /// Mean database queue length per fine window (jobs resident at the DB).
+    pub db_queue: Vec<f64>,
+    /// Mean front-server queue length per fine window.
+    pub fs_queue: Vec<f64>,
+    /// Per-transaction-type mean number of requests in system per fine
+    /// window (indexed by [`crate::transactions::ALL_TYPES`] order).
+    pub type_in_system: Vec<Vec<f64>>,
+    /// Completed transactions per type over the measured interval.
+    pub per_type_completions: [u64; 14],
+    /// System throughput over the measured interval (transactions/second).
+    pub throughput: f64,
+    /// Mean transaction response time (seconds).
+    pub response_mean: f64,
+    /// 95th percentile of transaction response times (seconds).
+    pub response_p95: f64,
+    /// Number of contention episodes that started during the whole run.
+    pub contention_episodes: u64,
+    /// Total seconds the shared database resource spent contended.
+    pub contended_seconds: f64,
+    /// Fine (utilization/queue) window length, seconds.
+    pub util_resolution: f64,
+    /// Coarse (completion-count) window length, seconds.
+    pub count_resolution: f64,
+}
+
+impl TestbedRun {
+    /// The paired `(U_k, n_k)` monitoring series for one tier at the coarse
+    /// resolution, re-binning the fine utilization windows.
+    ///
+    /// # Errors
+    /// Fails if the coarse resolution is not a multiple of the fine one or
+    /// the run is too short to form a single coarse window.
+    pub fn monitoring(&self, tier: TierId) -> Result<MonitoringSeries, TpcwError> {
+        let ratio = self.count_resolution / self.util_resolution;
+        let step = ratio.round() as usize;
+        if step == 0 || (ratio - step as f64).abs() > 1e-9 {
+            return Err(TpcwError::InvalidParameter {
+                name: "count_resolution",
+                reason: format!(
+                    "must be an integer multiple of util_resolution ({} vs {})",
+                    self.count_resolution, self.util_resolution
+                ),
+            });
+        }
+        let (fine, counts) = match tier {
+            TierId::Front => (&self.fs_util, &self.fs_completions),
+            TierId::Db => (&self.db_util, &self.db_completions),
+        };
+        let windows = fine.len() / step;
+        if windows == 0 {
+            return Err(TpcwError::NoObservations { what: "monitoring windows" });
+        }
+        let utilization: Vec<f64> = (0..windows)
+            .map(|w| fine[w * step..(w + 1) * step].iter().sum::<f64>() / step as f64)
+            .collect();
+        let completions: Vec<u64> = counts.iter().copied().take(windows).collect();
+        Ok(MonitoringSeries {
+            resolution: self.count_resolution,
+            utilization,
+            completions,
+        })
+    }
+
+    /// Mean utilization of a tier over the measured interval.
+    pub fn mean_utilization(&self, tier: TierId) -> f64 {
+        let series = match tier {
+            TierId::Front => &self.fs_util,
+            TierId::Db => &self.db_util,
+        };
+        if series.is_empty() {
+            return 0.0;
+        }
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_run() -> TestbedRun {
+        TestbedRun {
+            mix: Mix::Browsing,
+            ebs: 10,
+            think_time: 0.5,
+            measured_seconds: 10.0,
+            fs_util: vec![0.2, 0.4, 0.6, 0.8, 1.0, 0.0, 0.5, 0.5, 0.1, 0.9],
+            db_util: vec![0.1; 10],
+            fs_completions: vec![10, 20],
+            db_completions: vec![12, 18],
+            db_queue: vec![1.0; 10],
+            fs_queue: vec![0.5; 10],
+            type_in_system: vec![vec![0.0; 10]; 14],
+            per_type_completions: [0; 14],
+            throughput: 3.0,
+            response_mean: 0.05,
+            response_p95: 0.2,
+            contention_episodes: 0,
+            contended_seconds: 0.0,
+            util_resolution: 1.0,
+            count_resolution: 5.0,
+        }
+    }
+
+    #[test]
+    fn monitoring_rebins_utilization() {
+        let run = dummy_run();
+        let m = run.monitoring(TierId::Front).unwrap();
+        assert_eq!(m.utilization.len(), 2);
+        assert!((m.utilization[0] - 0.6).abs() < 1e-12);
+        assert!((m.utilization[1] - 0.4).abs() < 1e-12);
+        assert_eq!(m.completions, vec![10, 20]);
+        assert_eq!(m.resolution, 5.0);
+    }
+
+    #[test]
+    fn monitoring_db_uses_db_series() {
+        let run = dummy_run();
+        let m = run.monitoring(TierId::Db).unwrap();
+        assert!((m.utilization[0] - 0.1).abs() < 1e-12);
+        assert_eq!(m.completions, vec![12, 18]);
+    }
+
+    #[test]
+    fn incompatible_resolutions_rejected() {
+        let mut run = dummy_run();
+        run.count_resolution = 2.5;
+        assert!(run.monitoring(TierId::Front).is_err());
+    }
+
+    #[test]
+    fn mean_utilization_averages() {
+        let run = dummy_run();
+        assert!((run.mean_utilization(TierId::Db) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Testbed invariants: conservation laws and monitoring consistency across
+//! randomized configurations.
+
+use proptest::prelude::*;
+
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::TierId;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any mix/population/seed, the run satisfies basic sanity laws:
+    /// utilization bounds, utilization law per tier, throughput below the
+    /// think-time ceiling, and queue lengths below the population.
+    #[test]
+    fn conservation_laws_hold(
+        ebs in 1usize..60,
+        seed in any::<u64>(),
+        mix_idx in 0usize..3,
+    ) {
+        let mix = Mix::ALL[mix_idx];
+        let run = Testbed::new(
+            TestbedConfig::new(mix, ebs).duration(180.0).seed(seed),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+
+        // Throughput ceiling: N customers with Z think time cannot exceed
+        // N / Z completions per second in steady state; allow finite-window
+        // fluctuation (a 120 s sample of ~N/Z exponential cycles).
+        prop_assert!(run.throughput <= (ebs as f64 / 0.5) * 1.1 + 1.0);
+
+        // Utilization bounds and rough utilization law (PH sampling noise
+        // and contention inflation allowed for).
+        for tier in [TierId::Front, TierId::Db] {
+            let u = run.mean_utilization(tier);
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+        let u_fs = run.mean_utilization(TierId::Front);
+        let expected = run.throughput * mix.mean_front_demand();
+        prop_assert!(
+            (u_fs - expected).abs() < 0.1 + 0.1 * expected,
+            "U_fs {} vs X*D {}",
+            u_fs,
+            expected
+        );
+
+        // Queue lengths bounded by the population.
+        prop_assert!(run.fs_queue.iter().all(|&q| q <= ebs as f64 + 1e-9));
+        prop_assert!(run.db_queue.iter().all(|&q| q <= ebs as f64 + 1e-9));
+
+        // Per-type in-system counts sum below population at every window.
+        for w in 0..run.db_queue.len() {
+            let total: f64 = run.type_in_system.iter().map(|s| s[w]).sum();
+            prop_assert!(total <= ebs as f64 + 1e-6);
+        }
+
+        // Completion counts match the reported throughput.
+        let counted: u64 = run.per_type_completions.iter().sum();
+        let reported = run.throughput * run.measured_seconds;
+        prop_assert!(
+            (counted as f64 - reported).abs() < 1.0,
+            "counted {counted} vs reported {reported}"
+        );
+    }
+}

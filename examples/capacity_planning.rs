@@ -1,0 +1,65 @@
+//! End-to-end capacity planning on the TPC-W testbed — the paper's headline
+//! workflow.
+//!
+//! Run with `cargo run --release --example capacity_planning`.
+//!
+//! 1. Collect an estimation trace from the simulated testbed (browsing mix,
+//!    50 EBs, fine-granularity think time `Z_estim = 7 s`).
+//! 2. Build the burstiness-aware planner and the MVA baseline from the same
+//!    trace.
+//! 3. Predict throughput for a sweep of EB populations at `Z_qn = 0.5 s`
+//!    and compare against fresh "measured" testbed runs.
+
+use burstcap::report::AccuracyReport;
+use burstcap::planner::{CapacityPlanner, MvaBaseline};
+use burstcap::measurements::TierMeasurements;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::TierId;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Estimation run ------------------------------------------------
+    let estimation = Testbed::new(
+        TestbedConfig::new(Mix::Browsing, 50).think_time(7.0).duration(1800.0).seed(7),
+    )?
+    .run()?;
+    let tier = |id| -> Result<TierMeasurements, Box<dyn std::error::Error>> {
+        let m = estimation.monitoring(id)?;
+        Ok(TierMeasurements::new(m.resolution, m.utilization, m.completions)?)
+    };
+    let front = tier(TierId::Front)?;
+    let db = tier(TierId::Db)?;
+
+    // --- 2. Planner + baseline --------------------------------------------
+    let planner = CapacityPlanner::from_measurements(&front, &db)?;
+    let mva = MvaBaseline::from_measurements(&front, &db)?;
+    println!(
+        "characterized: I_front = {:.0}, I_db = {:.0}",
+        planner.front_characterization().index_of_dispersion,
+        planner.db_characterization().index_of_dispersion
+    );
+
+    // --- 3. Validate against measured sweeps -------------------------------
+    let populations = [25usize, 50, 75, 100];
+    let mut measured = Vec::new();
+    for (k, &ebs) in populations.iter().enumerate() {
+        let run = Testbed::new(
+            TestbedConfig::new(Mix::Browsing, ebs).duration(600.0).seed(100 + k as u64),
+        )?
+        .run()?;
+        measured.push((ebs, run.throughput));
+    }
+    let report = AccuracyReport::new(
+        "browsing mix: model vs MVA vs measured",
+        &measured,
+        &planner.predict_sweep(&populations, 0.5)?,
+        &mva.predict_sweep(&populations, 0.5)?,
+    )?;
+    print!("{report}");
+    println!(
+        "\nmean error: model {:.1}%, MVA {:.1}%",
+        report.mean_model_error() * 100.0,
+        report.mean_mva_error() * 100.0
+    );
+    Ok(())
+}

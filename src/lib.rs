@@ -1,0 +1,23 @@
+//! Umbrella crate for the `burstcap` workspace.
+//!
+//! Re-exports every member crate so examples and cross-crate integration
+//! tests can use one dependency. The substance lives in:
+//!
+//! * [`burstcap`] — the capacity-planning methodology (the paper's
+//!   contribution);
+//! * [`burstcap_stats`] — measurement statistics (index of dispersion,
+//!   busy-period analysis, regression, bottleneck detection);
+//! * [`burstcap_map`] — Markovian Arrival Processes and the Section 4.1
+//!   fitting pipeline;
+//! * [`burstcap_sim`] — the discrete-event simulation engine;
+//! * [`burstcap_tpcw`] — the TPC-W testbed simulator;
+//! * [`burstcap_qn`] — MVA and exact MAP-queueing-network solvers.
+
+#![forbid(unsafe_code)]
+
+pub use burstcap;
+pub use burstcap_map;
+pub use burstcap_qn;
+pub use burstcap_sim;
+pub use burstcap_stats;
+pub use burstcap_tpcw;

@@ -1,0 +1,123 @@
+//! End-to-end integration: testbed measurements → characterization → MAP
+//! fitting → exact model → prediction accuracy, across crates.
+
+use burstcap::measurements::TierMeasurements;
+use burstcap::planner::{CapacityPlanner, MvaBaseline};
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::{TestbedRun, TierId};
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+fn tier(run: &TestbedRun, id: TierId) -> TierMeasurements {
+    let m = run.monitoring(id).expect("monitoring series");
+    TierMeasurements::new(m.resolution, m.utilization, m.completions).expect("valid series")
+}
+
+fn estimation_run(mix: Mix, z: f64, ebs: usize, seed: u64) -> TestbedRun {
+    Testbed::new(TestbedConfig::new(mix, ebs).think_time(z).duration(2400.0).seed(seed))
+        .expect("valid config")
+        .run()
+        .expect("testbed runs")
+}
+
+#[test]
+fn browsing_pipeline_beats_mva_at_saturation() {
+    // Estimate from a light-load fine-granularity trace, predict the loaded
+    // system, compare against a fresh measured run — the paper's Figure 12
+    // claim in one test.
+    let est = estimation_run(Mix::Browsing, 7.0, 50, 1);
+    let front = tier(&est, TierId::Front);
+    let db = tier(&est, TierId::Db);
+    let planner = CapacityPlanner::from_measurements(&front, &db).expect("plans");
+    let mva = MvaBaseline::from_measurements(&front, &db).expect("regresses");
+
+    // The database must be diagnosed as bursty, the front as non-bursty.
+    let i_db = planner.db_characterization().index_of_dispersion;
+    let i_fs = planner.front_characterization().index_of_dispersion;
+    assert!(i_db > 10.0, "I_db = {i_db}, expected strongly bursty");
+    assert!(i_db > 4.0 * i_fs, "I_db = {i_db} should dwarf I_fs = {i_fs}");
+
+    let measured = Testbed::new(
+        TestbedConfig::new(Mix::Browsing, 125).duration(900.0).seed(9),
+    )
+    .expect("valid")
+    .run()
+    .expect("runs");
+
+    let model = planner.predict(125, 0.5).expect("model");
+    let baseline = mva.predict(125, 0.5).expect("baseline");
+    let model_err = (model.throughput - measured.throughput).abs() / measured.throughput;
+    let mva_err = (baseline.throughput - measured.throughput).abs() / measured.throughput;
+    assert!(
+        model_err < mva_err,
+        "burst-aware model (err {model_err:.3}) must beat MVA (err {mva_err:.3})"
+    );
+    assert!(model_err < 0.2, "model error {model_err:.3} should stay within 20%");
+}
+
+#[test]
+fn ordering_pipeline_matches_mva() {
+    // Without burstiness both models must agree and both must be accurate.
+    let est = estimation_run(Mix::Ordering, 7.0, 50, 2);
+    let front = tier(&est, TierId::Front);
+    let db = tier(&est, TierId::Db);
+    let planner = CapacityPlanner::from_measurements(&front, &db).expect("plans");
+    let mva = MvaBaseline::from_measurements(&front, &db).expect("regresses");
+
+    let measured = Testbed::new(
+        TestbedConfig::new(Mix::Ordering, 100).duration(900.0).seed(10),
+    )
+    .expect("valid")
+    .run()
+    .expect("runs");
+    let model = planner.predict(100, 0.5).expect("model");
+    let baseline = mva.predict(100, 0.5).expect("baseline");
+    for (name, x) in [("model", model.throughput), ("mva", baseline.throughput)] {
+        let err = (x - measured.throughput).abs() / measured.throughput;
+        assert!(err < 0.1, "{name} error {err:.3} too large for the ordering mix");
+    }
+}
+
+#[test]
+fn demand_regression_recovers_configured_demands() {
+    // The utilization-law regression on testbed output must recover the
+    // mix's configured mean demands within sampling noise.
+    let est = estimation_run(Mix::Shopping, 7.0, 50, 3);
+    let front = tier(&est, TierId::Front);
+    let planner_demand = burstcap_stats::regression::estimate_demand(
+        front.utilization(),
+        front.completions(),
+        front.resolution(),
+    )
+    .expect("regression");
+    let configured = Mix::Shopping.mean_front_demand();
+    let rel = (planner_demand.mean_service_time - configured).abs() / configured;
+    assert!(
+        rel < 0.1,
+        "regressed front demand {} vs configured {configured} ({rel:.3} rel err)",
+        planner_demand.mean_service_time
+    );
+}
+
+#[test]
+fn predictions_respect_asymptotic_bounds() {
+    // Model predictions can never exceed the operational bounds computed
+    // from the same demands.
+    let est = estimation_run(Mix::Browsing, 7.0, 50, 4);
+    let front = tier(&est, TierId::Front);
+    let db = tier(&est, TierId::Db);
+    let planner = CapacityPlanner::from_measurements(&front, &db).expect("plans");
+    let demands = vec![
+        planner.front_characterization().mean_service_time,
+        planner.db_characterization().mean_service_time,
+    ];
+    for pop in [10usize, 50, 100] {
+        let p = planner.predict(pop, 0.5).expect("model");
+        let b = burstcap_qn::bounds::throughput_bounds(&demands, 0.5, pop).expect("bounds");
+        assert!(
+            p.throughput <= b.upper + 1e-6,
+            "pop {pop}: prediction {} above upper bound {}",
+            p.throughput,
+            b.upper
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use burstcap_map::fit::Map2Fitter;
+use burstcap_map::ph::Ph2;
+use burstcap_map::trace::{impose_burstiness, BurstProfile};
+use burstcap_map::Map2;
+use burstcap_qn::bounds::throughput_bounds;
+use burstcap_qn::mva::ClosedMva;
+use burstcap_stats::descriptive::{percentile, scv};
+use burstcap_stats::dispersion::index_of_dispersion_acf;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentile_monotone_and_bounded(
+        mut data in prop::collection::vec(0.0f64..1e6, 1..200),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        data.iter_mut().for_each(|x| *x += 1e-9);
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let q_lo = percentile(&data, lo).unwrap();
+        let q_hi = percentile(&data, hi).unwrap();
+        prop_assert!(q_lo <= q_hi + 1e-12);
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q_lo >= min - 1e-12 && q_hi <= max + 1e-12);
+    }
+
+    /// The balanced-means H2 fit reproduces any requested (mean, scv).
+    #[test]
+    fn ph2_fit_roundtrips(mean in 1e-4f64..1e3, c2 in 0.5f64..400.0) {
+        let ph = Ph2::from_mean_scv(mean, c2).unwrap();
+        prop_assert!((ph.mean() - mean).abs() / mean < 1e-8);
+        prop_assert!((ph.scv() - c2).abs() / c2 < 1e-8);
+    }
+
+    /// Every MAP(2) of the mixed-phase family is internally consistent:
+    /// stochastic embedded chain, gamma in (-1, 1), I >= 0, and the p95 of
+    /// the marginal is invariant in gamma.
+    #[test]
+    fn mixed_phase_family_invariants(
+        c2 in 1.05f64..100.0,
+        gamma in 0.0f64..0.999,
+    ) {
+        let marginal = Ph2::from_mean_scv(1.0, c2).unwrap();
+        let map = Map2::from_hyper_marginal(marginal, gamma).unwrap();
+        let p = map.embedded_chain();
+        for row in p {
+            prop_assert!((row[0] + row[1] - 1.0).abs() < 1e-9);
+            prop_assert!(row[0] >= -1e-12 && row[1] >= -1e-12);
+        }
+        prop_assert!(map.gamma() < 1.0 && map.gamma() > -1.0);
+        prop_assert!(map.index_of_dispersion() >= c2 * 0.99);
+        let base_p95 = marginal.quantile(0.95).unwrap();
+        let map_p95 = map.quantile(0.95).unwrap();
+        prop_assert!((base_p95 - map_p95).abs() / base_p95 < 1e-6);
+    }
+
+    /// The Section 4.1 fitter hits its three targets within tolerance for
+    /// any reasonable combination.
+    #[test]
+    fn fitter_hits_targets(
+        mean in 1e-3f64..1.0,
+        i in 1.0f64..400.0,
+        p95_factor in 1.2f64..5.0,
+    ) {
+        let p95 = mean * p95_factor;
+        let fitted = Map2Fitter::new(mean, i, p95).fit().unwrap();
+        let map = fitted.map();
+        prop_assert!((map.mean() - mean).abs() / mean < 1e-6);
+        prop_assert!(
+            (map.index_of_dispersion() - i).abs() / i < 0.2,
+            "I achieved {} vs target {i}",
+            map.index_of_dispersion()
+        );
+    }
+
+    /// Reordering a trace never changes its marginal statistics.
+    #[test]
+    fn reordering_preserves_marginals(
+        data in prop::collection::vec(0.01f64..100.0, 10..300),
+        gamma in 0.0f64..0.99,
+        seed in any::<u64>(),
+    ) {
+        let profile = BurstProfile::Modulated { p_small: 0.8, gamma };
+        let reordered = impose_burstiness(&data, profile, seed).unwrap();
+        let mean_a = data.iter().sum::<f64>() / data.len() as f64;
+        let mean_b = reordered.iter().sum::<f64>() / reordered.len() as f64;
+        prop_assert!((mean_a - mean_b).abs() < 1e-9);
+        prop_assert!((scv(&data).unwrap() - scv(&reordered).unwrap()).abs() < 1e-9);
+    }
+
+    /// MVA throughput is monotone in population and bracketed by the
+    /// operational bounds.
+    #[test]
+    fn mva_within_bounds_and_monotone(
+        d1 in 1e-4f64..0.1,
+        d2 in 1e-4f64..0.1,
+        z in 0.0f64..2.0,
+        n in 1usize..200,
+    ) {
+        let mva = ClosedMva::new(vec![d1, d2], z).unwrap();
+        let x_n = mva.solve(n).unwrap().throughput;
+        let x_n1 = mva.solve(n + 1).unwrap().throughput;
+        prop_assert!(x_n1 >= x_n - 1e-9);
+        let b = throughput_bounds(&[d1, d2], z, n).unwrap();
+        prop_assert!(x_n <= b.upper + 1e-9);
+        prop_assert!(x_n >= b.lower - 1e-9);
+        prop_assert!(x_n <= b.balanced_upper + 1e-9);
+    }
+
+    /// Eq. (1) on white noise reduces to the SCV (the autocorrelation sum
+    /// vanishes): I stays within a band of the SCV.
+    #[test]
+    fn dispersion_of_iid_near_scv(seed in any::<u64>()) {
+        // Deterministic xorshift trace per seed.
+        let mut s = seed | 1;
+        let trace: Vec<f64> = (0..20_000)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64 + 0.01
+            })
+            .collect();
+        let i = index_of_dispersion_acf(&trace, 50).unwrap();
+        let c2 = scv(&trace).unwrap();
+        prop_assert!((i - c2).abs() < 0.15, "I = {i}, SCV = {c2}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The exact MAP-QN solution conserves population and respects the
+    /// utilization law for any fitted pair of processes.
+    #[test]
+    fn mapqn_conservation_laws(
+        i_front in 1.0f64..50.0,
+        i_db in 1.0f64..200.0,
+        pop in 1usize..25,
+    ) {
+        let front = Map2Fitter::new(0.01, i_front, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.006, i_db, 0.02).fit().unwrap().map();
+        let z = 0.4;
+        let sol = burstcap_qn::mapqn::MapNetwork::new(pop, z, front, db)
+            .unwrap()
+            .solve()
+            .unwrap();
+        // Population conservation via Little's law.
+        let total = sol.mean_jobs_front + sol.mean_jobs_db + sol.throughput * z;
+        prop_assert!((total - pop as f64).abs() < 1e-6, "population leak: {total}");
+        // Utilization law per tier.
+        prop_assert!((sol.utilization_front - sol.throughput * 0.01).abs() < 1e-6);
+        prop_assert!((sol.utilization_db - sol.throughput * 0.006).abs() < 1e-6);
+        // Bounded utilizations.
+        prop_assert!(sol.utilization_front <= 1.0 + 1e-9);
+        prop_assert!(sol.utilization_db <= 1.0 + 1e-9);
+    }
+}
