@@ -10,8 +10,14 @@ use burstcap_qn::ctmc::{Ctmc, SteadyStateMethod};
 use burstcap_qn::mapqn::MapNetwork;
 
 fn bench(c: &mut Criterion) {
-    let front = Map2Fitter::new(0.005, 40.0, 0.015).fit().expect("feasible").map();
-    let db = Map2Fitter::new(0.004, 120.0, 0.012).fit().expect("feasible").map();
+    let front = Map2Fitter::new(0.005, 40.0, 0.015)
+        .fit()
+        .expect("feasible")
+        .map();
+    let db = Map2Fitter::new(0.004, 120.0, 0.012)
+        .fit()
+        .expect("feasible")
+        .map();
 
     let mut group = c.benchmark_group("mapqn_solver");
     for &pop in &[25usize, 50, 100] {

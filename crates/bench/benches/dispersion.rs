@@ -23,14 +23,18 @@ fn bench(c: &mut Criterion) {
     let (util, counts) = synthetic_windows(720);
     let mut group = c.benchmark_group("dispersion");
     for tol in [0.05, 0.2, 0.5] {
-        group.bench_with_input(BenchmarkId::new("estimate_720w_tol", format!("{tol}")), &tol, |b, &tol| {
-            b.iter(|| {
-                DispersionEstimator::new(5.0)
-                    .tolerance(tol)
-                    .estimate(black_box(&util), black_box(&counts))
-                    .expect("estimates")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("estimate_720w_tol", format!("{tol}")),
+            &tol,
+            |b, &tol| {
+                b.iter(|| {
+                    DispersionEstimator::new(5.0)
+                        .tolerance(tol)
+                        .estimate(black_box(&util), black_box(&counts))
+                        .expect("estimates")
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             impose_burstiness(
                 black_box(&base),
-                BurstProfile::Modulated { p_small, gamma: 0.995 },
+                BurstProfile::Modulated {
+                    p_small,
+                    gamma: 0.995,
+                },
                 1,
             )
             .expect("valid")

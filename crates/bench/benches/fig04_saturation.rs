@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("testbed_100ebs_120s", mix.name()),
             &mix,
-            |b, &mix| {
-                b.iter(|| run_testbed(black_box(mix), 100, 120.0, 1).expect("runs"))
-            },
+            |b, &mix| b.iter(|| run_testbed(black_box(mix), 100, 120.0, 1).expect("runs")),
         );
     }
     group.finish();

@@ -9,8 +9,14 @@ use burstcap_qn::mapqn::MapNetwork;
 
 fn bench(c: &mut Criterion) {
     // Descriptors in the range the browsing-mix estimation produces.
-    let front = Map2Fitter::new(0.0051, 2.0, 0.0125).fit().expect("feasible").map();
-    let db = Map2Fitter::new(0.0042, 59.0, 0.0115).fit().expect("feasible").map();
+    let front = Map2Fitter::new(0.0051, 2.0, 0.0125)
+        .fit()
+        .expect("feasible")
+        .map();
+    let db = Map2Fitter::new(0.0042, 59.0, 0.0115)
+        .fit()
+        .expect("feasible")
+        .map();
     let mut group = c.benchmark_group("fig12");
     group.sample_size(10);
     for &pop in &[25usize, 75, 150] {

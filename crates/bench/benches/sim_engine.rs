@@ -27,10 +27,14 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("testbed/browsing_100ebs_150s", |b| {
         b.iter(|| {
-            Testbed::new(TestbedConfig::new(Mix::Browsing, 100).duration(150.0).seed(1))
-                .expect("valid")
-                .run()
-                .expect("runs")
+            Testbed::new(
+                TestbedConfig::new(Mix::Browsing, 100)
+                    .duration(150.0)
+                    .seed(1),
+            )
+            .expect("valid")
+            .run()
+            .expect("runs")
         })
     });
 }

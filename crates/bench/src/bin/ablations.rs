@@ -33,7 +33,10 @@ fn ablation_tolerance() {
     .run()
     .expect("runs");
     let m = run.monitoring(TierId::Db).expect("monitoring");
-    println!("{:>10} {:>12} {:>12} {:>10}", "tol", "I", "levels", "converged");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "tol", "I", "levels", "converged"
+    );
     for tol in [0.5, 0.2, 0.1, 0.05, 0.02, 0.01] {
         let est = DispersionEstimator::new(m.resolution)
             .tolerance(tol)
@@ -61,7 +64,9 @@ fn ablation_selection() {
         "p95*", "p95(closest)", "p95(max-rho1)", "scv(c)", "scv(r)"
     );
     for p95_target in [1.5, 2.5, 3.5, 4.5] {
-        let fitted = Map2Fitter::new(1.0, 100.0, p95_target).fit().expect("feasible");
+        let fitted = Map2Fitter::new(1.0, 100.0, p95_target)
+            .fit()
+            .expect("feasible");
         let closest = fitted.chosen();
         // The alternative rule: among the tolerance band, take max rho1
         // regardless of p95 (candidates are sorted by p95 distance).
@@ -83,10 +88,15 @@ fn ablation_selection() {
 /// caused by the injected mechanism, not an artifact.
 fn ablation_contention_off() {
     header("Ablation 3: contention disabled (browsing mix)");
-    println!("{:>6} {:>12} {:>12} {:>10} {:>10}", "EBs", "TPUT(on)", "TPUT(off)", "Udb(on)", "Udb(off)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10}",
+        "EBs", "TPUT(on)", "TPUT(off)", "Udb(on)", "Udb(off)"
+    );
     for (k, ebs) in [50usize, 100, 150].into_iter().enumerate() {
         let on = Testbed::new(
-            TestbedConfig::new(Mix::Browsing, ebs).duration(600.0).seed(BASE_SEED + k as u64),
+            TestbedConfig::new(Mix::Browsing, ebs)
+                .duration(600.0)
+                .seed(BASE_SEED + k as u64),
         )
         .expect("valid")
         .run()

@@ -25,8 +25,15 @@ fn main() {
             "{}",
             row(
                 "EBs",
-                &["TPUT".into(), "U_fs".into(), "U_db".into(), "switch".into(),
-                  "I_fs".into(), "I_db".into(), "cont_s".into()],
+                &[
+                    "TPUT".into(),
+                    "U_fs".into(),
+                    "U_db".into(),
+                    "switch".into(),
+                    "I_fs".into(),
+                    "I_db".into(),
+                    "cont_s".into()
+                ],
             )
         );
         for (k, &ebs) in EB_SWEEP.iter().enumerate() {

@@ -1,5 +1,8 @@
 //! Regenerates one table/figure of the paper; see `burstcap_bench::figures`.
 
 fn main() {
-    print!("{}", burstcap_bench::figures::fig10(burstcap_bench::experiments::MEASURE_DURATION));
+    print!(
+        "{}",
+        burstcap_bench::figures::fig10(burstcap_bench::experiments::MEASURE_DURATION)
+    );
 }

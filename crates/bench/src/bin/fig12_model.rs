@@ -2,5 +2,8 @@
 //! `burstcap_bench::figures::fig12`.
 
 fn main() {
-    print!("{}", burstcap_bench::figures::fig12(burstcap_bench::experiments::MEASURE_DURATION));
+    print!(
+        "{}",
+        burstcap_bench::figures::fig12(burstcap_bench::experiments::MEASURE_DURATION)
+    );
 }

@@ -22,14 +22,26 @@ use crate::{BASE_SEED, EB_SWEEP};
 /// hits the paper's intermediate targets (I = 22.3 and 92.6).
 fn figure1_profiles() -> Vec<(&'static str, BurstProfile)> {
     let p_small = balanced_p_small(3.0).expect("scv 3 > 1");
-    let g_b = burstcap_map::trace::gamma_for_target_dispersion(1.0, 3.0, 22.3)
-        .expect("feasible target");
-    let g_c = burstcap_map::trace::gamma_for_target_dispersion(1.0, 3.0, 92.6)
-        .expect("feasible target");
+    let g_b =
+        burstcap_map::trace::gamma_for_target_dispersion(1.0, 3.0, 22.3).expect("feasible target");
+    let g_c =
+        burstcap_map::trace::gamma_for_target_dispersion(1.0, 3.0, 92.6).expect("feasible target");
     vec![
         ("Fig. 1(a) iid", BurstProfile::Iid),
-        ("Fig. 1(b) modulated I~22", BurstProfile::Modulated { p_small, gamma: g_b }),
-        ("Fig. 1(c) modulated I~93", BurstProfile::Modulated { p_small, gamma: g_c }),
+        (
+            "Fig. 1(b) modulated I~22",
+            BurstProfile::Modulated {
+                p_small,
+                gamma: g_b,
+            },
+        ),
+        (
+            "Fig. 1(c) modulated I~93",
+            BurstProfile::Modulated {
+                p_small,
+                gamma: g_c,
+            },
+        ),
         ("Fig. 1(d) sorted", BurstProfile::Sorted),
     ]
 }
@@ -40,8 +52,17 @@ fn figure1_profiles() -> Vec<(&'static str, BurstProfile)> {
 pub fn fig01() -> String {
     let mut out = String::new();
     let base = hyperexp_trace(20_000, 1.0, 3.0, BASE_SEED).expect("valid marginal");
-    writeln!(out, "Figure 1: identical marginal (mean 1, SCV 3), growing burstiness").unwrap();
-    writeln!(out, "{:<30} {:>10} {:>10} {:>10}", "trace", "mean", "SCV", "I").unwrap();
+    writeln!(
+        out,
+        "Figure 1: identical marginal (mean 1, SCV 3), growing burstiness"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<30} {:>10} {:>10} {:>10}",
+        "trace", "mean", "SCV", "I"
+    )
+    .unwrap();
     for (name, profile) in figure1_profiles() {
         let trace = impose_burstiness(&base, profile, BASE_SEED).expect("valid profile");
         let mean = trace.iter().sum::<f64>() / trace.len() as f64;
@@ -76,7 +97,10 @@ pub fn table1() -> String {
             .expect("valid queue")
             .run(BASE_SEED + 1)
             .expect("queue run");
-        let r80 = MTrace1::new(0.8, trace).expect("valid queue").run(BASE_SEED + 2).expect("run");
+        let r80 = MTrace1::new(0.8, trace)
+            .expect("valid queue")
+            .run(BASE_SEED + 2)
+            .expect("run");
         writeln!(
             out,
             "{name:<30} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {i:>8.1}",
@@ -95,7 +119,11 @@ pub fn table1() -> String {
 /// resource profiles.
 pub fn environment() -> String {
     let mut out = String::new();
-    writeln!(out, "Table 2 (substituted): simulated testbed configuration").unwrap();
+    writeln!(
+        out,
+        "Table 2 (substituted): simulated testbed configuration"
+    )
+    .unwrap();
     writeln!(
         out,
         "  clients:  emulated browsers, exponential think time (Z = 0.5 s default)\n\
@@ -119,7 +147,11 @@ pub fn environment() -> String {
             t.name(),
             format!("{:?}", t.class()),
             t.front_demand() * 1e3,
-            if lo == hi { format!("{lo}") } else { format!("{lo}-{hi}") },
+            if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}-{hi}")
+            },
             t.db_query_demand() * 1e3,
             if t.uses_shared_table() { "yes" } else { "no" }
         )
@@ -135,10 +167,15 @@ pub fn fig04(duration: f64) -> String {
     let mut out = String::new();
     for mix in Mix::ALL {
         writeln!(out, "Figure 4 ({mix} mix): TPUT and utilizations vs EBs").unwrap();
-        writeln!(out, "{:>6} {:>10} {:>8} {:>8}", "EBs", "TPUT", "U_fs", "U_db").unwrap();
+        writeln!(
+            out,
+            "{:>6} {:>10} {:>8} {:>8}",
+            "EBs", "TPUT", "U_fs", "U_db"
+        )
+        .unwrap();
         for (k, &ebs) in EB_SWEEP.iter().enumerate() {
-            let run = crate::run_testbed(mix, ebs, duration, BASE_SEED + k as u64)
-                .expect("testbed run");
+            let run =
+                crate::run_testbed(mix, ebs, duration, BASE_SEED + k as u64).expect("testbed run");
             writeln!(
                 out,
                 "{ebs:>6} {:>10.1} {:>7.1}% {:>7.1}%",
@@ -159,8 +196,7 @@ pub fn fig04(duration: f64) -> String {
 pub fn fig05(duration: f64) -> String {
     let mut out = String::new();
     for (mix, ebs) in Mix::ALL.iter().flat_map(|&m| [(m, 100usize), (m, 150)]) {
-        let run =
-            crate::run_testbed(mix, ebs, duration, BASE_SEED + 31).expect("testbed run");
+        let run = crate::run_testbed(mix, ebs, duration, BASE_SEED + 31).expect("testbed run");
         let report = BottleneckDetector::new()
             .analyze(&run.fs_util, &run.db_util)
             .expect("paired series");
@@ -182,7 +218,11 @@ pub fn fig05(duration: f64) -> String {
         writeln!(
             out,
             "  verdict: {}",
-            if report.has_switch(0.2) { "BOTTLENECK SWITCH" } else { "stable bottleneck" }
+            if report.has_switch(0.2) {
+                "BOTTLENECK SWITCH"
+            } else {
+                "stable bottleneck"
+            }
         )
         .unwrap();
         // A 300-second excerpt as a coarse ASCII strip (10 s per character:
@@ -218,8 +258,7 @@ pub fn fig05(duration: f64) -> String {
 pub fn fig06(duration: f64) -> String {
     let mut out = String::new();
     for mix in Mix::ALL {
-        let run =
-            crate::run_testbed(mix, 100, duration, BASE_SEED + 67).expect("testbed run");
+        let run = crate::run_testbed(mix, 100, duration, BASE_SEED + 67).expect("testbed run");
         let n = run.db_queue.len().min(120);
         let queue = &run.db_queue[..n];
         let util = &run.db_util[..n];
@@ -252,15 +291,12 @@ pub fn fig06(duration: f64) -> String {
 pub fn fig07_08(duration: f64) -> String {
     let mut out = String::new();
     for mix in Mix::ALL {
-        let run =
-            crate::run_testbed(mix, 100, duration, BASE_SEED + 67).expect("testbed run");
+        let run = crate::run_testbed(mix, 100, duration, BASE_SEED + 67).expect("testbed run");
         let n = run.db_queue.len();
         let overall = &run.db_queue;
         let bs = &run.type_in_system[TxType::BestSellers.index()];
         let home = &run.type_in_system[TxType::Home.index()];
-        let share = |series: &[f64]| -> f64 {
-            series.iter().sum::<f64>() / n as f64
-        };
+        let share = |series: &[f64]| -> f64 { series.iter().sum::<f64>() / n as f64 };
         writeln!(
             out,
             "Figures 7-8 ({mix} mix, 100 EBs): mean in-system — overall DB queue {:.1}, Best Sellers {:.1}, Home {:.1}",
@@ -281,10 +317,8 @@ pub fn fig07_08(duration: f64) -> String {
         let mut idx: Vec<usize> = (0..n).collect();
         idx.sort_by(|&a, &b| overall[b].partial_cmp(&overall[a]).expect("finite"));
         let top = &idx[..(n / 10).max(1)];
-        let bs_in_spikes: f64 =
-            top.iter().map(|&k| bs[k]).sum::<f64>() / top.len() as f64;
-        let q_in_spikes: f64 =
-            top.iter().map(|&k| overall[k]).sum::<f64>() / top.len() as f64;
+        let bs_in_spikes: f64 = top.iter().map(|&k| bs[k]).sum::<f64>() / top.len() as f64;
+        let q_in_spikes: f64 = top.iter().map(|&k| overall[k]).sum::<f64>() / top.len() as f64;
         writeln!(
             out,
             "  top-decile queue windows: queue {:.1}, Best Sellers in system {:.1} ({:.0}% of jobs)\n",
@@ -302,18 +336,17 @@ pub fn fig07_08(duration: f64) -> String {
 pub fn fig10(duration: f64) -> String {
     let mut out = String::new();
     for mix in Mix::ALL {
-        let (_, mva, _) = planners_from_estimation_run(
-            mix,
-            7.0,
-            50,
-            ESTIMATION_DURATION,
-            BASE_SEED,
-        )
-        .expect("estimation run");
-        let measured =
-            measured_sweep(mix, &EB_SWEEP, 0.5, duration).expect("measured sweep");
+        let (_, mva, _) =
+            planners_from_estimation_run(mix, 7.0, 50, ESTIMATION_DURATION, BASE_SEED)
+                .expect("estimation run");
+        let measured = measured_sweep(mix, &EB_SWEEP, 0.5, duration).expect("measured sweep");
         writeln!(out, "Figure 10 ({mix} mix): MVA vs measured").unwrap();
-        writeln!(out, "{:>6} {:>10} {:>10} {:>8}", "EBs", "measured", "MVA", "err").unwrap();
+        writeln!(
+            out,
+            "{:>6} {:>10} {:>10} {:>8}",
+            "EBs", "measured", "MVA", "err"
+        )
+        .unwrap();
         for (ebs, run) in measured {
             let p = mva.predict(ebs, 0.5).expect("mva");
             writeln!(
@@ -337,8 +370,8 @@ pub fn fig10(duration: f64) -> String {
 pub fn fig11(duration: f64) -> String {
     let mut out = String::new();
     let populations = [25usize, 75, 150];
-    let measured = measured_sweep(Mix::Browsing, &populations, 0.5, duration)
-        .expect("measured sweep");
+    let measured =
+        measured_sweep(Mix::Browsing, &populations, 0.5, duration).expect("measured sweep");
     writeln!(
         out,
         "Figure 11 (browsing mix): Z_estim granularity study (Z_qn = 0.5 s)"
@@ -350,22 +383,12 @@ pub fn fig11(duration: f64) -> String {
         "EBs", "measured", "Model-Z0.5", "err", "Model-Z7", "err"
     )
     .unwrap();
-    let (planner_05, _, run_05) = planners_from_estimation_run(
-        Mix::Browsing,
-        0.5,
-        50,
-        ESTIMATION_DURATION,
-        BASE_SEED,
-    )
-    .expect("Z_estim = 0.5 estimation run");
-    let (planner_7, _, run_7) = planners_from_estimation_run(
-        Mix::Browsing,
-        7.0,
-        50,
-        ESTIMATION_DURATION,
-        BASE_SEED,
-    )
-    .expect("Z_estim = 7 estimation run");
+    let (planner_05, _, run_05) =
+        planners_from_estimation_run(Mix::Browsing, 0.5, 50, ESTIMATION_DURATION, BASE_SEED)
+            .expect("Z_estim = 0.5 estimation run");
+    let (planner_7, _, run_7) =
+        planners_from_estimation_run(Mix::Browsing, 7.0, 50, ESTIMATION_DURATION, BASE_SEED)
+            .expect("Z_estim = 7 estimation run");
     for (ebs, run) in &measured {
         let p05 = planner_05.predict(*ebs, 0.5).expect("model");
         let p7 = planner_7.predict(*ebs, 0.5).expect("model");
@@ -395,14 +418,9 @@ pub fn fig11(duration: f64) -> String {
 pub fn fig12(duration: f64) -> String {
     let mut out = String::new();
     for mix in Mix::ALL {
-        let (planner, mva, _) = planners_from_estimation_run(
-            mix,
-            7.0,
-            50,
-            ESTIMATION_DURATION,
-            BASE_SEED,
-        )
-        .expect("estimation run");
+        let (planner, mva, _) =
+            planners_from_estimation_run(mix, 7.0, 50, ESTIMATION_DURATION, BASE_SEED)
+                .expect("estimation run");
         writeln!(
             out,
             "Figure 12 ({mix} mix) — I_front = {:.0}, I_db = {:.0}",
@@ -410,10 +428,11 @@ pub fn fig12(duration: f64) -> String {
             planner.db_characterization().index_of_dispersion
         )
         .unwrap();
-        let measured =
-            measured_sweep(mix, &EB_SWEEP, 0.5, duration).expect("measured sweep");
-        let measured_points: Vec<(usize, f64)> =
-            measured.iter().map(|(ebs, run)| (*ebs, run.throughput)).collect();
+        let measured = measured_sweep(mix, &EB_SWEEP, 0.5, duration).expect("measured sweep");
+        let measured_points: Vec<(usize, f64)> = measured
+            .iter()
+            .map(|(ebs, run)| (*ebs, run.throughput))
+            .collect();
         let model = planner.predict_sweep(&EB_SWEEP, 0.5).expect("model sweep");
         let baseline = mva.predict_sweep(&EB_SWEEP, 0.5).expect("mva sweep");
         let report = AccuracyReport::new(
@@ -476,7 +495,10 @@ mod tests {
             .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
             .collect();
         assert_eq!(values.len(), 4);
-        assert!(values.windows(2).all(|w| w[0] < w[1]), "I must grow: {values:?}");
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "I must grow: {values:?}"
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ pub const BASE_SEED: u64 = 20080901; // Middleware 2008 vintage.
 ///
 /// # Errors
 /// Propagates testbed configuration/run errors.
-pub fn run_testbed(mix: Mix, ebs: usize, duration: f64, seed: u64) -> Result<TestbedRun, TpcwError> {
+pub fn run_testbed(
+    mix: Mix,
+    ebs: usize,
+    duration: f64,
+    seed: u64,
+) -> Result<TestbedRun, TpcwError> {
     Testbed::new(TestbedConfig::new(mix, ebs).duration(duration).seed(seed))?.run()
 }
 
@@ -94,9 +99,11 @@ pub mod experiments {
         run: &TestbedRun,
         tier: TierId,
     ) -> Result<TierMeasurements, PlanError> {
-        let m = run.monitoring(tier).map_err(|e| PlanError::InvalidMeasurements {
-            reason: e.to_string(),
-        })?;
+        let m = run
+            .monitoring(tier)
+            .map_err(|e| PlanError::InvalidMeasurements {
+                reason: e.to_string(),
+            })?;
         TierMeasurements::new(m.resolution, m.utilization, m.completions)
     }
 
@@ -119,11 +126,12 @@ pub mod experiments {
                 .seed(seed),
         )
         .and_then(|t| t.run())
-        .map_err(|e| PlanError::InvalidMeasurements { reason: e.to_string() })?;
+        .map_err(|e| PlanError::InvalidMeasurements {
+            reason: e.to_string(),
+        })?;
         let front = tier_measurements(&run, TierId::Front)?;
         let db = tier_measurements(&run, TierId::Db)?;
-        let planner =
-            CapacityPlanner::with_options(&front, &db, PlannerOptions::default())?;
+        let planner = CapacityPlanner::with_options(&front, &db, PlannerOptions::default())?;
         let mva = MvaBaseline::from_measurements(&front, &db)?;
         Ok((planner, mva, run))
     }
@@ -149,7 +157,9 @@ pub mod experiments {
                         .seed(BASE_SEED + 100 + k as u64),
                 )
                 .and_then(|t| t.run())
-                .map_err(|e| PlanError::InvalidMeasurements { reason: e.to_string() })?;
+                .map_err(|e| PlanError::InvalidMeasurements {
+                    reason: e.to_string(),
+                })?;
                 Ok((ebs, run))
             })
             .collect()

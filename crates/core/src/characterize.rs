@@ -37,7 +37,11 @@ pub struct CharacterizeOptions {
 
 impl Default for CharacterizeOptions {
     fn default() -> Self {
-        CharacterizeOptions { dispersion_tolerance: 0.05, min_windows: 100, quantile: 0.95 }
+        CharacterizeOptions {
+            dispersion_tolerance: 0.05,
+            min_windows: 100,
+            quantile: 0.95,
+        }
     }
 }
 
@@ -134,7 +138,11 @@ mod tests {
         }
         let m = TierMeasurements::new(5.0, util, n).unwrap();
         let c = characterize(&m, CharacterizeOptions::default()).unwrap();
-        assert!(c.index_of_dispersion > 10.0, "I = {}", c.index_of_dispersion);
+        assert!(
+            c.index_of_dispersion > 10.0,
+            "I = {}",
+            c.index_of_dispersion
+        );
     }
 
     #[test]
@@ -151,7 +159,10 @@ mod tests {
         let m = steady(1.0, 0.5, 50, 400);
         let c = characterize(
             &m,
-            CharacterizeOptions { quantile: 0.5, ..CharacterizeOptions::default() },
+            CharacterizeOptions {
+                quantile: 0.5,
+                ..CharacterizeOptions::default()
+            },
         )
         .unwrap();
         // Median of constant busy times equals the same scaled value.

@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn sources_are_preserved() {
-        let e = PlanError::from(StatsError::TraceTooShort { got: 1, needed: 100 });
+        let e = PlanError::from(StatsError::TraceTooShort {
+            got: 1,
+            needed: 100,
+        });
         assert!(e.source().is_some());
         assert!(e.to_string().contains("estimation"));
     }

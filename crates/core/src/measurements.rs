@@ -44,14 +44,23 @@ impl TierMeasurements {
             });
         }
         if utilization.is_empty() {
-            return Err(PlanError::InvalidMeasurements { reason: "empty series".into() });
+            return Err(PlanError::InvalidMeasurements {
+                reason: "empty series".into(),
+            });
         }
-        if let Some(bad) = utilization.iter().find(|u| !(0.0..=1.0).contains(*u) || u.is_nan()) {
+        if let Some(bad) = utilization
+            .iter()
+            .find(|u| !(0.0..=1.0).contains(*u) || u.is_nan())
+        {
             return Err(PlanError::InvalidMeasurements {
                 reason: format!("utilization sample {bad} outside [0, 1]"),
             });
         }
-        Ok(TierMeasurements { resolution, utilization, completions })
+        Ok(TierMeasurements {
+            resolution,
+            utilization,
+            completions,
+        })
     }
 
     /// Window length in seconds.

@@ -34,7 +34,10 @@ pub struct PlannerOptions {
 
 impl Default for PlannerOptions {
     fn default() -> Self {
-        PlannerOptions { characterize: CharacterizeOptions::default(), i_tolerance: 0.2 }
+        PlannerOptions {
+            characterize: CharacterizeOptions::default(),
+            i_tolerance: 0.2,
+        }
     }
 }
 
@@ -100,7 +103,12 @@ impl CapacityPlanner {
         let db_char = characterize(db, options.characterize)?;
         let front_fit = fit_tier(&front_char, options.i_tolerance)?;
         let db_fit = fit_tier(&db_char, options.i_tolerance)?;
-        Ok(CapacityPlanner { front: front_char, db: db_char, front_fit, db_fit })
+        Ok(CapacityPlanner {
+            front: front_char,
+            db: db_char,
+            front_fit,
+            db_fit,
+        })
     }
 
     /// Build a planner directly from known per-tier characterizations
@@ -115,7 +123,12 @@ impl CapacityPlanner {
     ) -> Result<Self, PlanError> {
         let front_fit = fit_tier(&front, options.i_tolerance)?;
         let db_fit = fit_tier(&db, options.i_tolerance)?;
-        Ok(CapacityPlanner { front, db, front_fit, db_fit })
+        Ok(CapacityPlanner {
+            front,
+            db,
+            front_fit,
+            db_fit,
+        })
     }
 
     /// The front tier's measured descriptors.
@@ -162,7 +175,10 @@ impl CapacityPlanner {
         populations: &[usize],
         think_time: f64,
     ) -> Result<Vec<Prediction>, PlanError> {
-        populations.iter().map(|&n| self.predict(n, think_time)).collect()
+        populations
+            .iter()
+            .map(|&n| self.predict(n, think_time))
+            .collect()
     }
 }
 
@@ -172,7 +188,9 @@ fn fit_tier(c: &ServiceCharacterization, i_tolerance: f64) -> Result<FittedMap2,
     // tiers, where burstiness is irrelevant anyway.
     let i = c.index_of_dispersion.max(0.51);
     let p95 = c.p95_service_time.max(c.mean_service_time * 1.05);
-    Ok(Map2Fitter::new(c.mean_service_time, i, p95).i_tolerance(i_tolerance).fit()?)
+    Ok(Map2Fitter::new(c.mean_service_time, i, p95)
+        .i_tolerance(i_tolerance)
+        .fit()?)
 }
 
 /// The Section 3.4 baseline: plain MVA on mean demands.
@@ -202,7 +220,10 @@ impl MvaBaseline {
             db.completions(),
             db.resolution(),
         )?;
-        Ok(MvaBaseline { front_demand: f.mean_service_time, db_demand: d.mean_service_time })
+        Ok(MvaBaseline {
+            front_demand: f.mean_service_time,
+            db_demand: d.mean_service_time,
+        })
     }
 
     /// Build from known mean demands.
@@ -215,7 +236,10 @@ impl MvaBaseline {
                 reason: "demands must be positive".into(),
             });
         }
-        Ok(MvaBaseline { front_demand, db_demand })
+        Ok(MvaBaseline {
+            front_demand,
+            db_demand,
+        })
     }
 
     /// The front demand used by the baseline.
@@ -253,7 +277,10 @@ impl MvaBaseline {
         populations: &[usize],
         think_time: f64,
     ) -> Result<Vec<Prediction>, PlanError> {
-        populations.iter().map(|&n| self.predict(n, think_time)).collect()
+        populations
+            .iter()
+            .map(|&n| self.predict(n, think_time))
+            .collect()
     }
 }
 
@@ -331,10 +358,11 @@ mod tests {
 
     #[test]
     fn sweep_is_monotone() {
-        let planner =
-            CapacityPlanner::from_measurements(&steady(0.5, 250), &bursty(250)).unwrap();
+        let planner = CapacityPlanner::from_measurements(&steady(0.5, 250), &bursty(250)).unwrap();
         let sweep = planner.predict_sweep(&[5, 15, 30], 0.5).unwrap();
-        assert!(sweep.windows(2).all(|w| w[1].throughput >= w[0].throughput - 1e-9));
+        assert!(sweep
+            .windows(2)
+            .all(|w| w[1].throughput >= w[0].throughput - 1e-9));
     }
 
     #[test]

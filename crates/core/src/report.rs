@@ -66,7 +66,9 @@ impl AccuracyReport {
             });
         }
         if measured.is_empty() {
-            return Err(PlanError::InvalidMeasurements { reason: "empty report".into() });
+            return Err(PlanError::InvalidMeasurements {
+                reason: "empty report".into(),
+            });
         }
         let mut rows = Vec::with_capacity(measured.len());
         for ((pop, x), (m, v)) in measured.iter().zip(model.iter().zip(mva)) {
@@ -90,7 +92,10 @@ impl AccuracyReport {
                 mva: v.throughput,
             });
         }
-        Ok(AccuracyReport { label: label.into(), rows })
+        Ok(AccuracyReport {
+            label: label.into(),
+            rows,
+        })
     }
 
     /// The report label (e.g. the mix name).
@@ -105,12 +110,18 @@ impl AccuracyReport {
 
     /// Largest relative error of the burst-aware model across rows.
     pub fn max_model_error(&self) -> f64 {
-        self.rows.iter().map(AccuracyRow::model_error).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(AccuracyRow::model_error)
+            .fold(0.0, f64::max)
     }
 
     /// Largest relative error of the MVA baseline across rows.
     pub fn max_mva_error(&self) -> f64 {
-        self.rows.iter().map(AccuracyRow::mva_error).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(AccuracyRow::mva_error)
+            .fold(0.0, f64::max)
     }
 
     /// Mean relative error of the burst-aware model.
@@ -180,13 +191,9 @@ mod tests {
 
     #[test]
     fn display_renders_rows() {
-        let report = AccuracyReport::new(
-            "mix",
-            &[(25, 100.0)],
-            &[pred(25, 95.0)],
-            &[pred(25, 130.0)],
-        )
-        .unwrap();
+        let report =
+            AccuracyReport::new("mix", &[(25, 100.0)], &[pred(25, 95.0)], &[pred(25, 130.0)])
+                .unwrap();
         let text = report.to_string();
         assert!(text.contains("mix"));
         assert!(text.contains("25"));
@@ -197,19 +204,11 @@ mod tests {
     fn validation_errors() {
         assert!(AccuracyReport::new("x", &[], &[], &[]).is_err());
         assert!(AccuracyReport::new("x", &[(25, 1.0)], &[], &[]).is_err());
-        assert!(AccuracyReport::new(
-            "x",
-            &[(25, 0.0)],
-            &[pred(25, 1.0)],
-            &[pred(25, 1.0)]
-        )
-        .is_err());
-        assert!(AccuracyReport::new(
-            "x",
-            &[(25, 1.0)],
-            &[pred(30, 1.0)],
-            &[pred(25, 1.0)]
-        )
-        .is_err());
+        assert!(
+            AccuracyReport::new("x", &[(25, 0.0)], &[pred(25, 1.0)], &[pred(25, 1.0)]).is_err()
+        );
+        assert!(
+            AccuracyReport::new("x", &[(25, 1.0)], &[pred(30, 1.0)], &[pred(25, 1.0)]).is_err()
+        );
     }
 }

@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn display_mentions_reason() {
-        let e = MapError::FitInfeasible { reason: "I below SCV floor".into() };
+        let e = MapError::FitInfeasible {
+            reason: "I below SCV floor".into(),
+        };
         assert!(e.to_string().contains("I below SCV floor"));
     }
 

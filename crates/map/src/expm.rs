@@ -84,7 +84,11 @@ pub fn expm_small(a: &[Vec<f64>], t: f64) -> Vec<Vec<f64>> {
         .iter()
         .map(|row| row.iter().map(|x| (x * t).abs()).sum::<f64>())
         .fold(0.0, f64::max);
-    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
     let scale = t / (2.0f64).powi(s as i32);
 
     // Taylor series on the scaled matrix.
@@ -183,10 +187,15 @@ mod tests {
     fn closed_form_matches_series_fallback() {
         let a = [[-1.7, 0.4], [1.1, -2.2]];
         let c = expm2(&a, 0.9);
-        let s = expm_small(&vec![vec![-1.7, 0.4], vec![1.1, -2.2]], 0.9);
+        let s = expm_small(&[vec![-1.7, 0.4], vec![1.1, -2.2]], 0.9);
         for i in 0..2 {
             for j in 0..2 {
-                assert!(close(c[i][j], s[i][j], 1e-9), "({i},{j}): {} vs {}", c[i][j], s[i][j]);
+                assert!(
+                    close(c[i][j], s[i][j], 1e-9),
+                    "({i},{j}): {} vs {}",
+                    c[i][j],
+                    s[i][j]
+                );
             }
         }
     }

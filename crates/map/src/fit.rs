@@ -355,7 +355,11 @@ fn h2_with_weight(m: f64, c2: f64, p: f64) -> Option<Ph2> {
     if u1 >= u2 {
         return None;
     }
-    Some(Ph2::Hyper { p, rate1: 1.0 / u1, rate2: 1.0 / u2 })
+    Some(Ph2::Hyper {
+        p,
+        rate1: 1.0 / u1,
+        rate2: 1.0 / u2,
+    })
 }
 
 /// Fit a MAP(2) directly from a raw service-time trace: estimates the mean,
@@ -378,11 +382,18 @@ pub fn fit_from_trace(
 ) -> Result<FittedMap2, MapError> {
     let est =
         burstcap_stats::dispersion::index_of_dispersion_counting(service_times, window, tolerance)
-            .map_err(|e| MapError::FitInfeasible { reason: format!("I estimation failed: {e}") })?;
-    let mean = burstcap_stats::descriptive::mean(service_times)
-        .map_err(|e| MapError::FitInfeasible { reason: e.to_string() })?;
-    let p95 = burstcap_stats::descriptive::percentile(service_times, 0.95)
-        .map_err(|e| MapError::FitInfeasible { reason: e.to_string() })?;
+            .map_err(|e| MapError::FitInfeasible {
+                reason: format!("I estimation failed: {e}"),
+            })?;
+    let mean =
+        burstcap_stats::descriptive::mean(service_times).map_err(|e| MapError::FitInfeasible {
+            reason: e.to_string(),
+        })?;
+    let p95 = burstcap_stats::descriptive::percentile(service_times, 0.95).map_err(|e| {
+        MapError::FitInfeasible {
+            reason: e.to_string(),
+        }
+    })?;
     Map2Fitter::new(mean, est.index_of_dispersion().max(0.51), p95).fit()
 }
 
@@ -393,7 +404,11 @@ mod tests {
     #[test]
     fn fits_bursty_target_exactly_on_i() {
         let fitted = Map2Fitter::new(1.0, 300.0, 2.0).fit().unwrap();
-        assert!(fitted.i_error() < 1e-6, "bisection should nail I, err = {}", fitted.i_error());
+        assert!(
+            fitted.i_error() < 1e-6,
+            "bisection should nail I, err = {}",
+            fitted.i_error()
+        );
         assert!((fitted.map().mean() - 1.0).abs() < 1e-9);
     }
 
@@ -454,10 +469,16 @@ mod tests {
     fn candidate_list_is_ranked_by_p95_distance() {
         let fitted = Map2Fitter::new(1.0, 50.0, 3.0).fit().unwrap();
         let target = 3.0;
-        let dists: Vec<f64> =
-            fitted.candidates().iter().map(|c| (c.achieved_p95 - target).abs()).collect();
+        let dists: Vec<f64> = fitted
+            .candidates()
+            .iter()
+            .map(|c| (c.achieved_p95 - target).abs())
+            .collect();
         assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12));
-        assert!(fitted.candidates().len() > 3, "grid should yield multiple candidates");
+        assert!(
+            fitted.candidates().len() > 3,
+            "grid should yield multiple candidates"
+        );
     }
 
     #[test]

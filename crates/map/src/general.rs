@@ -29,12 +29,11 @@ impl Map {
     pub fn new(d0: Vec<Vec<f64>>, d1: Vec<Vec<f64>>) -> Result<Self, MapError> {
         let n = d0.len();
         if n == 0 {
-            return Err(MapError::InvalidRepresentation { reason: "empty matrices".into() });
+            return Err(MapError::InvalidRepresentation {
+                reason: "empty matrices".into(),
+            });
         }
-        if d1.len() != n
-            || d0.iter().any(|r| r.len() != n)
-            || d1.iter().any(|r| r.len() != n)
-        {
+        if d1.len() != n || d0.iter().any(|r| r.len() != n) || d1.iter().any(|r| r.len() != n) {
             return Err(MapError::InvalidRepresentation {
                 reason: "D0 and D1 must be square with matching size".into(),
             });
@@ -90,11 +89,20 @@ impl Map {
     /// `M = (-D0)^{-1}` by Gaussian elimination.
     fn m_matrix(&self) -> Vec<Vec<f64>> {
         let n = self.order();
-        let mut a: Vec<Vec<f64>> = self.d0.iter().map(|r| r.iter().map(|x| -x).collect()).collect();
+        let mut a: Vec<Vec<f64>> = self
+            .d0
+            .iter()
+            .map(|r| r.iter().map(|x| -x).collect())
+            .collect();
         let mut inv = identity(n);
         for col in 0..n {
             let pivot = (col..n)
-                .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+                .max_by(|&i, &j| {
+                    a[i][col]
+                        .abs()
+                        .partial_cmp(&a[j][col].abs())
+                        .expect("finite")
+                })
                 .expect("non-empty");
             a.swap(col, pivot);
             inv.swap(col, pivot);
@@ -207,7 +215,10 @@ impl Map {
 impl From<Map2> for Map {
     fn from(m: Map2) -> Self {
         let to_vec = |a: &[[f64; 2]; 2]| vec![vec![a[0][0], a[0][1]], vec![a[1][0], a[1][1]]];
-        Map { d0: to_vec(m.d0()), d1: to_vec(m.d1()) }
+        Map {
+            d0: to_vec(m.d0()),
+            d1: to_vec(m.d1()),
+        }
     }
 }
 
@@ -273,7 +284,9 @@ impl GeneralSampler {
 }
 
 fn identity(n: usize) -> Vec<Vec<f64>> {
-    (0..n).map(|i| (0..n).map(|j| f64::from(u8::from(i == j))).collect()).collect()
+    (0..n)
+        .map(|i| (0..n).map(|j| f64::from(u8::from(i == j))).collect())
+        .collect()
 }
 
 fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
@@ -312,7 +325,12 @@ fn invert(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let mut inv = identity(n);
     for col in 0..n {
         let pivot = (col..n)
-            .max_by(|&i, &j| work[i][col].abs().partial_cmp(&work[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                work[i][col]
+                    .abs()
+                    .partial_cmp(&work[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         work.swap(col, pivot);
         inv.swap(col, pivot);
@@ -364,8 +382,7 @@ mod tests {
         assert!((gen.mean() - m2.mean()).abs() < 1e-10);
         assert!((gen.scv() - m2.scv()).abs() < 1e-8);
         assert!(
-            (gen.index_of_dispersion() - m2.index_of_dispersion()).abs()
-                / m2.index_of_dispersion()
+            (gen.index_of_dispersion() - m2.index_of_dispersion()).abs() / m2.index_of_dispersion()
                 < 1e-6,
             "I general {} vs map2 {}",
             gen.index_of_dispersion(),
@@ -423,6 +440,9 @@ mod tests {
         let mut s = GeneralSampler::new(gen, &mut rng);
         let n = 200_000;
         let mean = (0..n).map(|_| s.next_event(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - expected).abs() / expected < 0.02, "{mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.02,
+            "{mean} vs {expected}"
+        );
     }
 }

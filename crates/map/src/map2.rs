@@ -47,7 +47,10 @@ impl Map2 {
         for i in 0..2 {
             if !(d0[i][i] < 0.0) || !d0[i][i].is_finite() {
                 return Err(MapError::InvalidRepresentation {
-                    reason: format!("D0 diagonal must be negative, got D0[{i}][{i}] = {}", d0[i][i]),
+                    reason: format!(
+                        "D0 diagonal must be negative, got D0[{i}][{i}] = {}",
+                        d0[i][i]
+                    ),
                 });
             }
             for j in 0..2 {
@@ -174,7 +177,10 @@ impl Map2 {
 
     /// `M = (-D0)^{-1}`.
     fn m_matrix(&self) -> [[f64; 2]; 2] {
-        let a = [[-self.d0[0][0], -self.d0[0][1]], [-self.d0[1][0], -self.d0[1][1]]];
+        let a = [
+            [-self.d0[0][0], -self.d0[0][1]],
+            [-self.d0[1][0], -self.d0[1][1]],
+        ];
         let det = a[0][0] * a[1][1] - a[0][1] * a[1][0];
         debug_assert!(det > 0.0, "(-D0) of a valid MAP is a nonsingular M-matrix");
         [
@@ -232,7 +238,10 @@ impl Map2 {
         let mut v = pi;
         let mut factorial = 1.0;
         for i in 1..=k {
-            v = [v[0] * m[0][0] + v[1] * m[1][0], v[0] * m[0][1] + v[1] * m[1][1]];
+            v = [
+                v[0] * m[0][0] + v[1] * m[1][0],
+                v[0] * m[0][1] + v[1] * m[1][1],
+            ];
             factorial *= i as f64;
         }
         factorial * (v[0] + v[1])
@@ -277,12 +286,17 @@ impl Map2 {
         let m = self.m_matrix();
         let p = self.embedded_chain();
         // pi * M
-        let v = [pi[0] * m[0][0] + pi[1] * m[1][0], pi[0] * m[0][1] + pi[1] * m[1][1]];
+        let v = [
+            pi[0] * m[0][0] + pi[1] * m[1][0],
+            pi[0] * m[0][1] + pi[1] * m[1][1],
+        ];
         // (pi M) * P
-        let w = [v[0] * p[0][0] + v[1] * p[1][0], v[0] * p[0][1] + v[1] * p[1][1]];
+        let w = [
+            v[0] * p[0][0] + v[1] * p[1][0],
+            v[0] * p[0][1] + v[1] * p[1][1],
+        ];
         // (pi M P) * M * 1
-        let e_x0x1 =
-            w[0] * (m[0][0] + m[0][1]) + w[1] * (m[1][0] + m[1][1]);
+        let e_x0x1 = w[0] * (m[0][0] + m[0][1]) + w[1] * (m[1][0] + m[1][1]);
         let m1 = self.moment(1);
         let var = self.variance();
         if var <= f64::EPSILON * m1 * m1 {
@@ -303,7 +317,11 @@ impl Map2 {
         if (1.0 - g).abs() < 1e-12 {
             // Degenerate persistence: uncorrelated phases mean a renewal
             // process (I = SCV); any residual correlation diverges.
-            return if rho1.abs() < 1e-12 { scv } else { f64::INFINITY };
+            return if rho1.abs() < 1e-12 {
+                scv
+            } else {
+                f64::INFINITY
+            };
         }
         scv * (1.0 + 2.0 * rho1 / (1.0 - g))
     }
@@ -339,7 +357,9 @@ impl Map2 {
             hi *= 2.0;
             guard += 1;
             if guard > 200 {
-                return Err(MapError::NoConvergence { what: "quantile bracketing" });
+                return Err(MapError::NoConvergence {
+                    what: "quantile bracketing",
+                });
             }
         }
         let mut lo = 0.0;
@@ -370,9 +390,7 @@ impl Map2 {
             });
         }
         let f = self.mean() / mean;
-        let scale = |m: &[[f64; 2]; 2]| {
-            [[m[0][0] * f, m[0][1] * f], [m[1][0] * f, m[1][1] * f]]
-        };
+        let scale = |m: &[[f64; 2]; 2]| [[m[0][0] * f, m[0][1] * f], [m[1][0] * f, m[1][1] * f]];
         Map2::new(scale(&self.d0), scale(&self.d1))
     }
 }
@@ -432,9 +450,16 @@ mod tests {
         for &gamma in &[0.0, 0.3, 0.9, 0.99] {
             let m = Map2::from_hyper_marginal(marginal, gamma).unwrap();
             assert!((m.mean() - 1.0).abs() < 1e-9, "gamma={gamma}");
-            assert!((m.scv() - 3.0).abs() < 1e-8, "gamma={gamma}, scv={}", m.scv());
+            assert!(
+                (m.scv() - 3.0).abs() < 1e-8,
+                "gamma={gamma}, scv={}",
+                m.scv()
+            );
             let q = m.quantile(0.95).unwrap();
-            assert!((q - p95).abs() / p95 < 1e-6, "gamma={gamma}: p95 {q} vs {p95}");
+            assert!(
+                (q - p95).abs() / p95 < 1e-6,
+                "gamma={gamma}: p95 {q} vs {p95}"
+            );
         }
     }
 
@@ -463,7 +488,10 @@ mod tests {
             assert!(i > last, "I({g}) = {i} not > {last}");
             last = i;
         }
-        assert!(last > 1000.0, "gamma=0.999 should be extremely bursty, I = {last}");
+        assert!(
+            last > 1000.0,
+            "gamma=0.999 should be extremely bursty, I = {last}"
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl Ph2 {
                 reason: format!("must be positive and finite, got {mean}"),
             });
         }
-        Ok(Ph2::Hyper { p: 1.0, rate1: 1.0 / mean, rate2: 1.0 / mean })
+        Ok(Ph2::Hyper {
+            p: 1.0,
+            rate1: 1.0 / mean,
+            rate2: 1.0 / mean,
+        })
     }
 
     /// Moment-match a two-phase PH to a mean and SCV.
@@ -91,12 +95,19 @@ impl Ph2 {
         if scv > 1.0 {
             let s = ((scv - 1.0) / (scv + 1.0)).sqrt();
             let p = (1.0 + s) / 2.0;
-            Ok(Ph2::Hyper { p, rate1: 2.0 * p / mean, rate2: 2.0 * (1.0 - p) / mean })
+            Ok(Ph2::Hyper {
+                p,
+                rate1: 2.0 * p / mean,
+                rate2: 2.0 * (1.0 - p) / mean,
+            })
         } else {
             let s = (2.0 * scv - 1.0).sqrt();
             let u = mean / 2.0 * (1.0 + s);
             let v = mean / 2.0 * (1.0 - s);
-            Ok(Ph2::Hypo { rate1: 1.0 / v, rate2: 1.0 / u })
+            Ok(Ph2::Hypo {
+                rate1: 1.0 / v,
+                rate2: 1.0 / u,
+            })
         }
     }
 
@@ -176,7 +187,9 @@ impl Ph2 {
             hi *= 2.0;
             guard += 1;
             if guard > 200 {
-                return Err(MapError::NoConvergence { what: "quantile bracketing" });
+                return Err(MapError::NoConvergence {
+                    what: "quantile bracketing",
+                });
             }
         }
         let mut lo = 0.0;
@@ -198,7 +211,11 @@ impl Ph2 {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match *self {
             Ph2::Hyper { p, rate1, rate2 } => {
-                let rate = if rng.random::<f64>() < p { rate1 } else { rate2 };
+                let rate = if rng.random::<f64>() < p {
+                    rate1
+                } else {
+                    rate2
+                };
                 sample_exp(rng, rate)
             }
             Ph2::Hypo { rate1, rate2 } => sample_exp(rng, rate1) + sample_exp(rng, rate2),
@@ -239,7 +256,12 @@ mod tests {
         for &(m, c2) in &[(1.0, 0.5), (2.0, 0.75), (0.01, 0.9)] {
             let ph = Ph2::from_mean_scv(m, c2).unwrap();
             assert!((ph.mean() - m).abs() / m < 1e-10);
-            assert!((ph.scv() - c2).abs() < 1e-10, "scv {} target {}", ph.scv(), c2);
+            assert!(
+                (ph.scv() - c2).abs() < 1e-10,
+                "scv {} target {}",
+                ph.scv(),
+                c2
+            );
         }
     }
 
@@ -294,7 +316,10 @@ mod tests {
     fn exponential_quantile_closed_form() {
         let ph = Ph2::exponential(1.0).unwrap();
         let x = ph.quantile(0.95).unwrap();
-        assert!((x - (20.0f64).ln()).abs() < 1e-9, "p95 of Exp(1) is ln 20, got {x}");
+        assert!(
+            (x - (20.0f64).ln()).abs() < 1e-9,
+            "p95 of Exp(1) is ln 20, got {x}"
+        );
     }
 
     #[test]
@@ -306,7 +331,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.02, "sample mean {mean}");
-        assert!((var / (mean * mean) - 3.0).abs() < 0.25, "sample scv {}", var / (mean * mean));
+        assert!(
+            (var / (mean * mean) - 3.0).abs() < 0.25,
+            "sample scv {}",
+            var / (mean * mean)
+        );
     }
 
     #[test]

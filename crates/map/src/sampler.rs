@@ -124,8 +124,16 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(17);
         let mut s = MapSampler::new(map, &mut rng);
         let trace = s.sample_trace(400_000, &mut rng);
-        assert!((mean(&trace).unwrap() - 1.0).abs() < 0.02, "mean {}", mean(&trace).unwrap());
-        assert!((scv(&trace).unwrap() - 3.0).abs() < 0.25, "scv {}", scv(&trace).unwrap());
+        assert!(
+            (mean(&trace).unwrap() - 1.0).abs() < 0.02,
+            "mean {}",
+            mean(&trace).unwrap()
+        );
+        assert!(
+            (scv(&trace).unwrap() - 3.0).abs() < 0.25,
+            "scv {}",
+            scv(&trace).unwrap()
+        );
     }
 
     #[test]
@@ -154,7 +162,10 @@ mod tests {
         let rho1 = burstcap_stats::acf::autocorrelation(&trace, 1).unwrap();
         let analytic = map.lag1_correlation();
         assert!(rho1 > 0.0);
-        assert!((rho1 - analytic).abs() < 0.1, "rho1 {rho1} vs analytic {analytic}");
+        assert!(
+            (rho1 - analytic).abs() < 0.1,
+            "rho1 {rho1} vs analytic {analytic}"
+        );
     }
 
     #[test]

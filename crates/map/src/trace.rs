@@ -9,8 +9,8 @@
 //! distribution is identical by construction and only the temporal order —
 //! hence `I` — changes.
 
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -158,9 +158,7 @@ fn modulated_order(samples: &[f64], p_small: f64, gamma: f64, rng: &mut SmallRng
 pub fn gamma_for_target_dispersion(mean: f64, scv: f64, target_i: f64) -> Result<f64, MapError> {
     if target_i < scv {
         return Err(MapError::FitInfeasible {
-            reason: format!(
-                "target I = {target_i} below the SCV = {scv} floor of reordering"
-            ),
+            reason: format!("target I = {target_i} below the SCV = {scv} floor of reordering"),
         });
     }
     let marginal = Ph2::from_mean_scv(mean, scv)?;
@@ -223,7 +221,10 @@ mod tests {
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for profile in [
             BurstProfile::Iid,
-            BurstProfile::Modulated { p_small: 0.85, gamma: 0.95 },
+            BurstProfile::Modulated {
+                p_small: 0.85,
+                gamma: 0.95,
+            },
             BurstProfile::Sorted,
         ] {
             let mut got = impose_burstiness(&base, profile, 3).unwrap();
@@ -239,24 +240,37 @@ mod tests {
         let iid = impose_burstiness(&base, BurstProfile::Iid, 1).unwrap();
         let mild = impose_burstiness(
             &base,
-            BurstProfile::Modulated { p_small: p, gamma: 0.95 },
+            BurstProfile::Modulated {
+                p_small: p,
+                gamma: 0.95,
+            },
             1,
         )
         .unwrap();
         let strong = impose_burstiness(
             &base,
-            BurstProfile::Modulated { p_small: p, gamma: 0.995 },
+            BurstProfile::Modulated {
+                p_small: p,
+                gamma: 0.995,
+            },
             1,
         )
         .unwrap();
         let sorted = impose_burstiness(&base, BurstProfile::Sorted, 1).unwrap();
 
-        let (i_a, i_b, i_c, i_d) =
-            (measured_i(&iid), measured_i(&mild), measured_i(&strong), measured_i(&sorted));
+        let (i_a, i_b, i_c, i_d) = (
+            measured_i(&iid),
+            measured_i(&mild),
+            measured_i(&strong),
+            measured_i(&sorted),
+        );
         assert!(i_a < i_b, "iid {i_a} !< mild {i_b}");
         assert!(i_b < i_c, "mild {i_b} !< strong {i_c}");
         assert!(i_c < i_d, "strong {i_c} !< sorted {i_d}");
-        assert!((1.0..12.0).contains(&i_a), "iid I = {i_a}, expected near SCV = 3");
+        assert!(
+            (1.0..12.0).contains(&i_a),
+            "iid I = {i_a}, expected near SCV = 3"
+        );
         assert!(i_d > 100.0, "sorted I = {i_d}, expected hundreds");
     }
 
@@ -274,10 +288,24 @@ mod tests {
     #[test]
     fn rejects_bad_modulation_parameters() {
         let t = [1.0, 2.0, 3.0];
-        assert!(impose_burstiness(&t, BurstProfile::Modulated { p_small: 0.0, gamma: 0.5 }, 0)
-            .is_err());
-        assert!(impose_burstiness(&t, BurstProfile::Modulated { p_small: 0.5, gamma: 1.0 }, 0)
-            .is_err());
+        assert!(impose_burstiness(
+            &t,
+            BurstProfile::Modulated {
+                p_small: 0.0,
+                gamma: 0.5
+            },
+            0
+        )
+        .is_err());
+        assert!(impose_burstiness(
+            &t,
+            BurstProfile::Modulated {
+                p_small: 0.5,
+                gamma: 1.0
+            },
+            0
+        )
+        .is_err());
     }
 
     #[test]

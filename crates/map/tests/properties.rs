@@ -90,6 +90,64 @@ proptest! {
         prop_assert!((fitted.map().mean() - mean).abs() / mean < 1e-6);
     }
 
+    /// Every constructor in the MAP(2) family yields a *valid* MAP: D0 has
+    /// nonnegative off-diagonals and a strictly negative diagonal, D1 is
+    /// entrywise nonnegative, and each row of D0 + D1 sums to zero (the pair
+    /// is a partitioned generator).
+    #[test]
+    fn map2_generator_validity(
+        c2 in 1.05f64..200.0,
+        gamma in 0.0f64..0.999,
+        mean in 1e-3f64..1e2,
+    ) {
+        let marginal = Ph2::from_mean_scv(mean, c2).unwrap();
+        for map in [
+            Map2::from_hyper_marginal(marginal, gamma).unwrap(),
+            renewal_map2(marginal).unwrap(),
+            Map2::poisson(1.0 / mean).unwrap(),
+        ] {
+            let (d0, d1) = (map.d0(), map.d1());
+            for i in 0..2 {
+                prop_assert!(d0[i][i] < 0.0, "D0 diagonal must be negative");
+                prop_assert!(d0[i][1 - i] >= 0.0, "D0 off-diagonal must be nonnegative");
+                let row_sum: f64 = d0[i][0] + d0[i][1] + d1[i][0] + d1[i][1];
+                prop_assert!(
+                    row_sum.abs() < 1e-8 * d0[i][i].abs().max(1.0),
+                    "row {i} of D0 + D1 sums to {row_sum}, not 0"
+                );
+                for &v in &d1[i] {
+                    prop_assert!(v >= 0.0, "D1 must be entrywise nonnegative, got {v}");
+                }
+            }
+        }
+    }
+
+    /// Moment-matching round-trip: rebuilding a MAP(2) from its own measured
+    /// descriptors (mean, I, p95) through the Section 4.1 fitter recovers the
+    /// mean exactly and the index of dispersion within the fitter's ±20%
+    /// contract.
+    #[test]
+    fn map2_moment_matching_roundtrip(
+        c2 in 1.2f64..80.0,
+        gamma in 0.0f64..0.98,
+        mean in 1e-2f64..10.0,
+    ) {
+        let marginal = Ph2::from_mean_scv(mean, c2).unwrap();
+        let original = Map2::from_hyper_marginal(marginal, gamma).unwrap();
+        let (m1, i, p95) = (
+            original.mean(),
+            original.index_of_dispersion(),
+            original.quantile(0.95).unwrap(),
+        );
+        let rebuilt = Map2Fitter::new(m1, i, p95).fit().unwrap().map();
+        prop_assert!((rebuilt.mean() - m1).abs() / m1 < 1e-6);
+        prop_assert!(
+            (rebuilt.index_of_dispersion() - i).abs() / i <= 0.2 + 1e-9,
+            "round-trip I {} vs original {i}",
+            rebuilt.index_of_dispersion()
+        );
+    }
+
     /// Sorting maximizes the measured index of dispersion over random
     /// reorderings (spot-check with one random permutation).
     #[test]

@@ -75,7 +75,11 @@ pub fn throughput_bounds(
         .expect("population validated above");
     let balanced_upper = balanced.throughput.min(upper);
 
-    Ok(ThroughputBounds { upper, lower, balanced_upper })
+    Ok(ThroughputBounds {
+        upper,
+        lower,
+        balanced_upper,
+    })
 }
 
 /// The population `N*` beyond which the bottleneck saturates:
@@ -106,7 +110,11 @@ mod tests {
             let b = throughput_bounds(&demands, z, n).unwrap();
             assert!(x <= b.upper + 1e-9, "N={n}: X={x} above upper {}", b.upper);
             assert!(x >= b.lower - 1e-9, "N={n}: X={x} below lower {}", b.lower);
-            assert!(x <= b.balanced_upper + 1e-6, "N={n}: X={x} above bjb {}", b.balanced_upper);
+            assert!(
+                x <= b.balanced_upper + 1e-6,
+                "N={n}: X={x} above bjb {}",
+                b.balanced_upper
+            );
         }
     }
 

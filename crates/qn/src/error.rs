@@ -36,7 +36,11 @@ impl fmt::Display for QnError {
             QnError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
-            QnError::NoConvergence { solver, iterations, residual } => write!(
+            QnError::NoConvergence {
+                solver,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "{solver} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
@@ -55,7 +59,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = QnError::NoConvergence { solver: "gauss-seidel", iterations: 10, residual: 0.5 };
+        let e = QnError::NoConvergence {
+            solver: "gauss-seidel",
+            iterations: 10,
+            residual: 0.5,
+        };
         let s = e.to_string();
         assert!(s.contains("gauss-seidel") && s.contains("10"));
     }

@@ -71,12 +71,7 @@ impl MapNetwork {
     ///
     /// # Errors
     /// Rejects a zero population and non-positive think times.
-    pub fn new(
-        population: usize,
-        think_time: f64,
-        front: Map2,
-        db: Map2,
-    ) -> Result<Self, QnError> {
+    pub fn new(population: usize, think_time: f64, front: Map2, db: Map2) -> Result<Self, QnError> {
         if population == 0 {
             return Err(QnError::InvalidParameter {
                 name: "population",
@@ -89,7 +84,13 @@ impl MapNetwork {
                 reason: format!("must be positive and finite, got {think_time}"),
             });
         }
-        Ok(MapNetwork { population, think_time, front, db, state_limit: DEFAULT_STATE_LIMIT })
+        Ok(MapNetwork {
+            population,
+            think_time,
+            front,
+            db,
+            state_limit: DEFAULT_STATE_LIMIT,
+        })
     }
 
     /// Override the state-space cap.
@@ -211,7 +212,10 @@ impl MapNetwork {
     pub fn solve(&self) -> Result<MapQnSolution, QnError> {
         let states = self.state_count();
         if states > self.state_limit {
-            return Err(QnError::StateSpaceTooLarge { states, limit: self.state_limit });
+            return Err(QnError::StateSpaceTooLarge {
+                states,
+                limit: self.state_limit,
+            });
         }
         let n = self.population;
         let z = self.think_time;
@@ -320,7 +324,10 @@ impl MapNetwork {
     pub fn solve_iterative(&self, method: SteadyStateMethod) -> Result<MapQnSolution, QnError> {
         let states = self.state_count();
         if states > self.state_limit {
-            return Err(QnError::StateSpaceTooLarge { states, limit: self.state_limit });
+            return Err(QnError::StateSpaceTooLarge {
+                states,
+                limit: self.state_limit,
+            });
         }
         let chain = Ctmc::from_transitions(states, self.flat_transitions())?;
         let pi = chain.steady_state(method)?;
@@ -396,7 +403,11 @@ impl MapNetwork {
                             }
                             for (j, &rate) in d1f[p_f].iter().enumerate() {
                                 if rate > 0.0 {
-                                    tr.push((from, self.flat_index(n_f - 1, n_d + 1, j, p_d), rate));
+                                    tr.push((
+                                        from,
+                                        self.flat_index(n_f - 1, n_d + 1, j, p_d),
+                                        rate,
+                                    ));
                                 }
                             }
                         }
@@ -595,7 +606,10 @@ mod tests {
         let db = Map2::poisson(1.0 / 0.006).unwrap();
         let mva = ClosedMva::new(vec![0.01, 0.006], 0.5).unwrap();
         for pop in [1, 5, 20, 60] {
-            let exact = MapNetwork::new(pop, 0.5, front, db).unwrap().solve().unwrap();
+            let exact = MapNetwork::new(pop, 0.5, front, db)
+                .unwrap()
+                .solve()
+                .unwrap();
             let baseline = mva.solve(pop).unwrap();
             assert!(
                 (exact.throughput - baseline.throughput).abs() / baseline.throughput < 1e-6,
@@ -639,7 +653,10 @@ mod tests {
         // (means only).
         let front = Map2Fitter::new(0.02, 50.0, 0.06).fit().unwrap().map();
         let db = Map2Fitter::new(0.03, 100.0, 0.1).fit().unwrap().map();
-        let sol = MapNetwork::new(1, 0.45, front, db).unwrap().solve().unwrap();
+        let sol = MapNetwork::new(1, 0.45, front, db)
+            .unwrap()
+            .solve()
+            .unwrap();
         let expected = 1.0 / (0.45 + 0.02 + 0.03);
         assert!(
             (sol.throughput - expected).abs() / expected < 1e-6,
@@ -655,8 +672,14 @@ mod tests {
         let db_smooth = Map2::poisson(1.0 / 0.007).unwrap();
         let db_bursty = Map2Fitter::new(0.007, 200.0, 0.02).fit().unwrap().map();
         let pop = 40;
-        let smooth = MapNetwork::new(pop, 0.2, front, db_smooth).unwrap().solve().unwrap();
-        let bursty = MapNetwork::new(pop, 0.2, front, db_bursty).unwrap().solve().unwrap();
+        let smooth = MapNetwork::new(pop, 0.2, front, db_smooth)
+            .unwrap()
+            .solve()
+            .unwrap();
+        let bursty = MapNetwork::new(pop, 0.2, front, db_bursty)
+            .unwrap()
+            .solve()
+            .unwrap();
         assert!(
             bursty.throughput < 0.9 * smooth.throughput,
             "bursty {} vs smooth {}",
@@ -672,7 +695,10 @@ mod tests {
         let front = Map2Fitter::new(0.01, 20.0, 0.03).fit().unwrap().map();
         let db = Map2Fitter::new(0.006, 80.0, 0.02).fit().unwrap().map();
         let pop = 25;
-        let analytic = MapNetwork::new(pop, 0.3, front, db).unwrap().solve().unwrap();
+        let analytic = MapNetwork::new(pop, 0.3, front, db)
+            .unwrap()
+            .solve()
+            .unwrap();
         let sim = ClosedMapNetwork::new(pop, 0.3, front, db)
             .unwrap()
             .run(3000.0, 300.0, 42)
@@ -696,7 +722,10 @@ mod tests {
         let front = Map2Fitter::new(0.01, 40.0, 0.03).fit().unwrap().map();
         let db = Map2::poisson(1.0 / 0.004).unwrap();
         let pop = 30;
-        let sol = MapNetwork::new(pop, 0.5, front, db).unwrap().solve().unwrap();
+        let sol = MapNetwork::new(pop, 0.5, front, db)
+            .unwrap()
+            .solve()
+            .unwrap();
         let thinking = sol.throughput * 0.5;
         let total = sol.mean_jobs_front + sol.mean_jobs_db + thinking;
         assert!((total - pop as f64).abs() < 1e-6, "total = {total}");
@@ -709,7 +738,10 @@ mod tests {
         let net = MapNetwork::new(1, 0.4, front, db).unwrap();
         let sweep = net.solve_sweep(&[5, 10, 20]).unwrap();
         for (i, &pop) in [5usize, 10, 20].iter().enumerate() {
-            let single = MapNetwork::new(pop, 0.4, front, db).unwrap().solve().unwrap();
+            let single = MapNetwork::new(pop, 0.4, front, db)
+                .unwrap()
+                .solve()
+                .unwrap();
             assert!(
                 (sweep[i].throughput - single.throughput).abs() / single.throughput < 1e-9,
                 "pop {pop}: sweep {} vs single {}",
@@ -737,18 +769,31 @@ mod tests {
 
     #[test]
     fn state_count_formula() {
-        let net = MapNetwork::new(3, 0.5, Map2::poisson(1.0).unwrap(), Map2::poisson(1.0).unwrap())
-            .unwrap();
+        let net = MapNetwork::new(
+            3,
+            0.5,
+            Map2::poisson(1.0).unwrap(),
+            Map2::poisson(1.0).unwrap(),
+        )
+        .unwrap();
         // Pairs: (0,0..3),(1,0..2),(2,0..1),(3,0) = 4+3+2+1 = 10; x4 phases.
         assert_eq!(net.state_count(), 40);
     }
 
     #[test]
     fn state_limit_enforced() {
-        let net = MapNetwork::new(100, 0.5, Map2::poisson(1.0).unwrap(), Map2::poisson(1.0).unwrap())
-            .unwrap()
-            .state_limit(100);
-        assert!(matches!(net.solve(), Err(QnError::StateSpaceTooLarge { .. })));
+        let net = MapNetwork::new(
+            100,
+            0.5,
+            Map2::poisson(1.0).unwrap(),
+            Map2::poisson(1.0).unwrap(),
+        )
+        .unwrap()
+        .state_limit(100);
+        assert!(matches!(
+            net.solve(),
+            Err(QnError::StateSpaceTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -762,10 +807,16 @@ mod tests {
     fn response_time_via_littles_law() {
         let front = Map2::poisson(1.0 / 0.01).unwrap();
         let db = Map2::poisson(1.0 / 0.005).unwrap();
-        let sol = MapNetwork::new(20, 0.5, front, db).unwrap().solve().unwrap();
+        let sol = MapNetwork::new(20, 0.5, front, db)
+            .unwrap()
+            .solve()
+            .unwrap();
         let reconstructed = 20.0 / sol.throughput - 0.5;
         assert!((sol.response_time - reconstructed).abs() < 1e-9);
-        assert!(sol.response_time > 0.015, "response must exceed total demand");
+        assert!(
+            sol.response_time > 0.015,
+            "response must exceed total demand"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl ClosedMva {
                 reason: format!("must be non-negative, got {think_time}"),
             });
         }
-        Ok(ClosedMva { demands, think_time })
+        Ok(ClosedMva {
+            demands,
+            think_time,
+        })
     }
 
     /// Exact MVA recursion up to population `n`.
@@ -132,7 +135,11 @@ impl ClosedMva {
             }
             let _ = iter;
         }
-        Err(QnError::NoConvergence { solver: "schweitzer", iterations: 100_000, residual: 0.0 })
+        Err(QnError::NoConvergence {
+            solver: "schweitzer",
+            iterations: 100_000,
+            residual: 0.0,
+        })
     }
 
     /// Per-station demands.
@@ -201,7 +208,10 @@ impl MulticlassMva {
                 reason: "demands must be non-negative and finite".into(),
             });
         }
-        Ok(MulticlassMva { demands, think_times })
+        Ok(MulticlassMva {
+            demands,
+            think_times,
+        })
     }
 
     /// Exact recursion over all population vectors `<= population`.
@@ -228,8 +238,7 @@ impl MulticlassMva {
         let mut memo: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
         memo.insert(vec![0; c], vec![0.0; m]);
 
-        let (q_final, x_final, r_final) =
-            self.solve_recursive(population.to_vec(), &mut memo);
+        let (q_final, x_final, r_final) = self.solve_recursive(population.to_vec(), &mut memo);
 
         let mut util = vec![0.0; m];
         for cls in 0..c {
@@ -394,11 +403,8 @@ mod tests {
 
     #[test]
     fn multiclass_two_classes_conserve_population() {
-        let mc = MulticlassMva::new(
-            vec![vec![0.01, 0.002], vec![0.002, 0.015]],
-            vec![0.5, 0.5],
-        )
-        .unwrap();
+        let mc = MulticlassMva::new(vec![vec![0.01, 0.002], vec![0.002, 0.015]], vec![0.5, 0.5])
+            .unwrap();
         let s = mc.solve(&[10, 10]).unwrap();
         // Per-class Little: N_c = X_c (Z_c + R_c).
         for c in 0..2 {

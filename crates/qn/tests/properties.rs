@@ -77,6 +77,43 @@ proptest! {
         );
     }
 
+    /// MVA agrees with a directly assembled CTMC for the exponential
+    /// two-station cyclic network (product form): the analytic recursion and
+    /// the brute-force chain must produce the same throughput and
+    /// utilization.
+    #[test]
+    fn mva_matches_ctmc_for_exponential_network(
+        d1 in 1e-3f64..0.5,
+        d2 in 1e-3f64..0.5,
+        pop in 1usize..40,
+    ) {
+        // State: number of jobs at station 1 (the rest queue at station 2).
+        // Z = 0 keeps the chain one-dimensional; the MVA recursion still
+        // exercises its full population loop.
+        let (mu1, mu2) = (1.0 / d1, 1.0 / d2);
+        let mut tr = Vec::new();
+        for n1 in 0..pop {
+            tr.push((n1 + 1, n1, mu1)); // station 1 completes
+            tr.push((n1, n1 + 1, mu2)); // station 2 completes
+        }
+        let chain = Ctmc::from_transitions(pop + 1, tr).unwrap();
+        let pi = chain.steady_state(SteadyStateMethod::DenseLu { limit: 100 }).unwrap();
+        let x_ctmc: f64 = pi.iter().skip(1).sum::<f64>() * mu1;
+        let u2_ctmc: f64 = pi.iter().take(pop).sum::<f64>();
+
+        let mva = ClosedMva::new(vec![d1, d2], 0.0).unwrap().solve(pop).unwrap();
+        prop_assert!(
+            (mva.throughput - x_ctmc).abs() / x_ctmc < 1e-6,
+            "X: mva {} vs ctmc {x_ctmc}",
+            mva.throughput
+        );
+        prop_assert!(
+            (mva.utilization[1] - u2_ctmc).abs() < 1e-6,
+            "U2: mva {} vs ctmc {u2_ctmc}",
+            mva.utilization[1]
+        );
+    }
+
     /// Burstiness never helps: for equal means, the bursty network's
     /// throughput is bounded by the exponential network's.
     #[test]

@@ -56,10 +56,12 @@ impl Dist {
     /// # Errors
     /// Propagates the PH feasibility domain (`scv >= 1/2`).
     pub fn ph_mean_scv(mean: f64, scv: f64) -> Result<Self, SimError> {
-        Ph2::from_mean_scv(mean, scv).map(Dist::Ph).map_err(|e| SimError::InvalidParameter {
-            name: "scv",
-            reason: e.to_string(),
-        })
+        Ph2::from_mean_scv(mean, scv)
+            .map(Dist::Ph)
+            .map_err(|e| SimError::InvalidParameter {
+                name: "scv",
+                reason: e.to_string(),
+            })
     }
 
     /// Uniform distribution on `[lo, hi]`.
@@ -67,7 +69,7 @@ impl Dist {
     /// # Errors
     /// Rejects inverted or negative ranges.
     pub fn uniform(lo: f64, hi: f64) -> Result<Self, SimError> {
-        if !(0.0 <= lo && lo <= hi) || !hi.is_finite() {
+        if !(0.0 <= lo && lo <= hi && hi.is_finite()) {
             return Err(SimError::InvalidParameter {
                 name: "range",
                 reason: format!("need 0 <= lo <= hi, got [{lo}, {hi}]"),

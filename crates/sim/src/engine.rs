@@ -80,7 +80,10 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty calendar.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedule `event` at absolute time `time`.
@@ -89,7 +92,10 @@ impl<E> EventQueue<E> {
     /// Panics on NaN times — a NaN clock is always a bug upstream.
     pub fn schedule(&mut self, time: f64, event: E) {
         assert!(!time.is_nan(), "event time must not be NaN");
-        let key = Key { time, seq: self.seq };
+        let key = Key {
+            time,
+            seq: self.seq,
+        };
         self.seq += 1;
         self.heap.push(Entry { key, event });
     }

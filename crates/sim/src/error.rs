@@ -41,7 +41,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::NoObservations { what: "response times" };
+        let e = SimError::NoObservations {
+            what: "response times",
+        };
         assert!(e.to_string().contains("response times"));
     }
 

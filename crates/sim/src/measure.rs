@@ -33,7 +33,10 @@ impl BusyRecorder {
     /// Panics on a non-positive resolution (configuration bug).
     pub fn new(resolution: f64) -> Self {
         assert!(resolution > 0.0, "resolution must be positive");
-        BusyRecorder { resolution, busy: Vec::new() }
+        BusyRecorder {
+            resolution,
+            busy: Vec::new(),
+        }
     }
 
     /// Record that the server was busy during `[from, to)`.
@@ -83,7 +86,10 @@ impl CountRecorder {
     /// Panics on a non-positive resolution (configuration bug).
     pub fn new(resolution: f64) -> Self {
         assert!(resolution > 0.0, "resolution must be positive");
-        CountRecorder { resolution, counts: Vec::new() }
+        CountRecorder {
+            resolution,
+            counts: Vec::new(),
+        }
     }
 
     /// Record one event at time `t`.
@@ -98,7 +104,9 @@ impl CountRecorder {
     /// Event counts per window up to `horizon`.
     pub fn counts(&self, horizon: f64) -> Vec<u64> {
         let n = (horizon / self.resolution).floor() as usize;
-        (0..n).map(|w| self.counts.get(w).copied().unwrap_or(0)).collect()
+        (0..n)
+            .map(|w| self.counts.get(w).copied().unwrap_or(0))
+            .collect()
     }
 
     /// Total events recorded.
@@ -128,7 +136,12 @@ impl QueueLengthRecorder {
     /// Panics on a non-positive resolution (configuration bug).
     pub fn new(resolution: f64) -> Self {
         assert!(resolution > 0.0, "resolution must be positive");
-        QueueLengthRecorder { resolution, area: Vec::new(), last_time: 0.0, last_level: 0.0 }
+        QueueLengthRecorder {
+            resolution,
+            area: Vec::new(),
+            last_time: 0.0,
+            last_level: 0.0,
+        }
     }
 
     /// Record that the queue level changed to `level` at time `t` (the level
@@ -194,7 +207,9 @@ impl ResponseTally {
     /// Fails when no observation was recorded.
     pub fn mean(&self) -> Result<f64, SimError> {
         if self.stats.count() == 0 {
-            return Err(SimError::NoObservations { what: "response times" });
+            return Err(SimError::NoObservations {
+                what: "response times",
+            });
         }
         Ok(self.stats.mean())
     }

@@ -240,7 +240,12 @@ impl ClosedMapNetwork {
                 reason: format!("must be positive and finite, got {think_time}"),
             });
         }
-        Ok(ClosedMapNetwork { population, think_time, front, db })
+        Ok(ClosedMapNetwork {
+            population,
+            think_time,
+            front,
+            db,
+        })
     }
 
     /// Simulate for `horizon` seconds, measuring after `warmup` seconds.
@@ -252,13 +257,17 @@ impl ClosedMapNetwork {
         if !(horizon.is_finite() && warmup >= 0.0 && horizon > warmup) {
             return Err(SimError::InvalidParameter {
                 name: "horizon",
-                reason: format!("need 0 <= warmup < horizon, got warmup={warmup}, horizon={horizon}"),
+                reason: format!(
+                    "need 0 <= warmup < horizon, got warmup={warmup}, horizon={horizon}"
+                ),
             });
         }
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut calendar: EventQueue<Event> = EventQueue::new();
-        let mut stations =
-            [MapStation::new(self.front, &mut rng), MapStation::new(self.db, &mut rng)];
+        let mut stations = [
+            MapStation::new(self.front, &mut rng),
+            MapStation::new(self.db, &mut rng),
+        ];
 
         // All customers start thinking.
         for _ in 0..self.population {
@@ -266,18 +275,24 @@ impl ClosedMapNetwork {
             calendar.schedule(t, Event::ThinkEnd);
         }
 
-        let schedule_sojourn = |st: &mut MapStation, cal: &mut EventQueue<Event>, now: f64,
-                                tier: usize, rng: &mut SmallRng| {
+        let schedule_sojourn = |st: &mut MapStation,
+                                cal: &mut EventQueue<Event>,
+                                now: f64,
+                                tier: usize,
+                                rng: &mut SmallRng| {
             let rate = -st.map.d0()[st.phase][st.phase];
             let dt = sample_exp(rng, rate);
-            cal.schedule(now + dt, Event::Transition { tier, generation: st.generation });
+            cal.schedule(
+                now + dt,
+                Event::Transition {
+                    tier,
+                    generation: st.generation,
+                },
+            );
         };
 
         let mut now;
-        loop {
-            let Some((t, event)) = calendar.pop() else {
-                break;
-            };
+        while let Some((t, event)) = calendar.pop() {
             now = t;
             if now >= horizon {
                 break;
@@ -365,7 +380,9 @@ impl ClosedMapNetwork {
         }
         let db_completions = stations[1].completions_measured;
         if db_completions == 0 {
-            return Err(SimError::NoObservations { what: "database completions" });
+            return Err(SimError::NoObservations {
+                what: "database completions",
+            });
         }
         Ok(ClosedRunResult {
             throughput: db_completions as f64 / measured,
@@ -463,7 +480,11 @@ mod tests {
         // Bottleneck is the front server: X ~ 100/s, U_front ~ 1.
         assert!((r.throughput - 100.0).abs() < 5.0, "X = {}", r.throughput);
         assert!(r.utilization_front > 0.95, "U_fs = {}", r.utilization_front);
-        assert!((r.utilization_db - 0.4).abs() < 0.05, "U_db = {}", r.utilization_db);
+        assert!(
+            (r.utilization_db - 0.4).abs() < 0.05,
+            "U_db = {}",
+            r.utilization_db
+        );
         // Queue lengths: jobs in system <= population.
         assert!(r.mean_jobs_front + r.mean_jobs_db <= 60.0 + 1e-9);
     }
@@ -490,10 +511,7 @@ mod tests {
         // phenomenon).
         let front = Map2::poisson(1.0 / 0.008).unwrap();
         let db_smooth = Map2::poisson(1.0 / 0.007).unwrap();
-        let db_bursty = Map2Fitter::new(0.007, 200.0, 0.02)
-            .fit()
-            .unwrap()
-            .map();
+        let db_bursty = Map2Fitter::new(0.007, 200.0, 0.02).fit().unwrap().map();
         let pop = 40;
         let smooth = ClosedMapNetwork::new(pop, 0.2, front, db_smooth)
             .unwrap()

@@ -82,7 +82,10 @@ impl PsServer {
     pub fn arrive(&mut self, now: f64, id: u64, work: f64) {
         assert!(work >= 0.0, "job work must be non-negative");
         self.advance(now);
-        self.jobs.push(PsJob { id, remaining: work });
+        self.jobs.push(PsJob {
+            id,
+            remaining: work,
+        });
         self.generation += 1;
     }
 
@@ -116,7 +119,11 @@ impl PsServer {
             .jobs
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.remaining.partial_cmp(&b.1.remaining).expect("finite work"))
+            .min_by(|a, b| {
+                a.1.remaining
+                    .partial_cmp(&b.1.remaining)
+                    .expect("finite work")
+            })
             .expect("non-empty");
         self.generation += 1;
         self.jobs.swap_remove(idx)

@@ -29,12 +29,17 @@ use crate::StatsError;
 /// ```
 pub fn autocorrelation(data: &[f64], k: usize) -> Result<f64, StatsError> {
     if data.len() < k + 2 {
-        return Err(StatsError::TraceTooShort { got: data.len(), needed: k + 2 });
+        return Err(StatsError::TraceTooShort {
+            got: data.len(),
+            needed: k + 2,
+        });
     }
     let m = mean(data)?;
     let var = variance(data)?;
     if var == 0.0 {
-        return Err(StatsError::Degenerate { reason: "zero variance".into() });
+        return Err(StatsError::Degenerate {
+            reason: "zero variance".into(),
+        });
     }
     let n = data.len();
     let cov: f64 = data[..n - k]
@@ -99,7 +104,9 @@ mod tests {
         // rand dependency in unit scope.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let mut x = 0.0;
@@ -132,7 +139,10 @@ mod tests {
         let rho1 = autocorrelation(&data, 1).unwrap();
         let rho5 = autocorrelation(&data, 5).unwrap();
         assert!(rho1 > 0.7, "rho1 = {rho1}");
-        assert!(rho5 < rho1, "acf must decay: rho5 = {rho5} >= rho1 = {rho1}");
+        assert!(
+            rho5 < rho1,
+            "acf must decay: rho5 = {rho5} >= rho1 = {rho1}"
+        );
         assert!(rho5 > 0.1);
     }
 
@@ -166,7 +176,10 @@ mod tests {
         let data = ar1(0.6, 50_000);
         let lag = decorrelation_lag(&data, 0.05, 50).unwrap();
         assert!(lag.is_some());
-        assert!(lag.unwrap() > 1, "an AR(1) with phi=0.6 stays correlated past lag 1");
+        assert!(
+            lag.unwrap() > 1,
+            "an AR(1) with phi=0.6 stays correlated past lag 1"
+        );
     }
 
     #[test]
@@ -176,7 +189,9 @@ mod tests {
 
     #[test]
     fn lag1_of_perfectly_alternating_series_is_minus_one_ish() {
-        let data: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let rho1 = autocorrelation(&data, 1).unwrap();
         assert!(rho1 < -0.99);
         let rho2 = autocorrelation(&data, 2).unwrap();

@@ -87,7 +87,10 @@ impl BottleneckDetector {
     /// non-positive margin.
     pub fn analyze(&self, first: &[f64], second: &[f64]) -> Result<BottleneckReport, StatsError> {
         if first.len() != second.len() {
-            return Err(StatsError::LengthMismatch { left: first.len(), right: second.len() });
+            return Err(StatsError::LengthMismatch {
+                left: first.len(),
+                right: second.len(),
+            });
         }
         if first.is_empty() {
             return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
@@ -99,7 +102,10 @@ impl BottleneckDetector {
             });
         }
         for series in [first, second] {
-            if let Some(bad) = series.iter().find(|u| !(0.0..=1.0).contains(*u) || u.is_nan()) {
+            if let Some(bad) = series
+                .iter()
+                .find(|u| !(0.0..=1.0).contains(*u) || u.is_nan())
+            {
                 return Err(StatsError::InvalidParameter {
                     name: "utilization",
                     reason: format!("samples must lie in [0, 1], found {bad}"),
@@ -210,15 +216,23 @@ mod tests {
     fn margin_is_respected() {
         let fs = [0.6, 0.6];
         let db = [0.4, 0.4];
-        let strict = BottleneckDetector::new().margin(0.3).analyze(&fs, &db).unwrap();
+        let strict = BottleneckDetector::new()
+            .margin(0.3)
+            .analyze(&fs, &db)
+            .unwrap();
         assert!((strict.fraction_neither - 1.0).abs() < 1e-12);
-        let loose = BottleneckDetector::new().margin(0.1).analyze(&fs, &db).unwrap();
+        let loose = BottleneckDetector::new()
+            .margin(0.1)
+            .analyze(&fs, &db)
+            .unwrap();
         assert!((loose.fraction_first - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn rejects_mismatched_series() {
-        assert!(BottleneckDetector::new().analyze(&[0.5], &[0.5, 0.6]).is_err());
+        assert!(BottleneckDetector::new()
+            .analyze(&[0.5], &[0.5, 0.6])
+            .is_err());
     }
 
     #[test]
@@ -233,7 +247,10 @@ mod tests {
 
     #[test]
     fn rejects_non_positive_margin() {
-        assert!(BottleneckDetector::new().margin(0.0).analyze(&[0.5], &[0.5]).is_err());
+        assert!(BottleneckDetector::new()
+            .margin(0.0)
+            .analyze(&[0.5], &[0.5])
+            .is_err());
     }
 
     #[test]

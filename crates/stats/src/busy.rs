@@ -27,7 +27,10 @@ pub fn busy_times(utilization: &[f64], resolution: f64) -> Result<Vec<f64>, Stat
             reason: format!("must be positive, got {resolution}"),
         });
     }
-    if let Some(bad) = utilization.iter().find(|u| !(0.0..=1.0).contains(*u) || u.is_nan()) {
+    if let Some(bad) = utilization
+        .iter()
+        .find(|u| !(0.0..=1.0).contains(*u) || u.is_nan())
+    {
         return Err(StatsError::InvalidParameter {
             name: "utilization",
             reason: format!("samples must lie in [0, 1], found {bad}"),
@@ -140,7 +143,10 @@ impl ServicePercentileEstimator {
     /// Panics if `resolution` is not strictly positive.
     pub fn new(resolution: f64) -> Self {
         assert!(resolution > 0.0, "monitoring resolution must be positive");
-        ServicePercentileEstimator { resolution, quantile: 0.95 }
+        ServicePercentileEstimator {
+            resolution,
+            quantile: 0.95,
+        }
     }
 
     /// Change the estimated quantile (default 0.95).
@@ -263,7 +269,9 @@ mod tests {
         // Service time exactly 0.02 s: 50 completions per fully busy second.
         let util = vec![1.0; 300];
         let n = vec![50u64; 300];
-        let c = ServicePercentileEstimator::new(1.0).estimate(&util, &n).unwrap();
+        let c = ServicePercentileEstimator::new(1.0)
+            .estimate(&util, &n)
+            .unwrap();
         assert!((c.mean_service_time - 0.02).abs() < 1e-12);
         assert!((c.p95_service_time - 0.02).abs() < 1e-12);
         assert_eq!(c.busy_windows, 300);
@@ -282,7 +290,9 @@ mod tests {
             // 8% of windows are "slow" (2 completions), the rest fast (100).
             n.push(if k % 12 == 0 { 2u64 } else { 100 });
         }
-        let c = ServicePercentileEstimator::new(1.0).estimate(&util, &n).unwrap();
+        let c = ServicePercentileEstimator::new(1.0)
+            .estimate(&util, &n)
+            .unwrap();
         // Median count is 100 -> p95 service ~ 1/100 = 0.01 (busy time is
         // constant). Mean is pulled up slightly by slow windows.
         assert!(c.mean_service_time > 0.01);
@@ -293,7 +303,9 @@ mod tests {
     fn estimator_skips_idle_windows() {
         let util = [0.0, 1.0, 0.0, 1.0];
         let n = [0u64, 10, 0, 10];
-        let c = ServicePercentileEstimator::new(1.0).estimate(&util, &n).unwrap();
+        let c = ServicePercentileEstimator::new(1.0)
+            .estimate(&util, &n)
+            .unwrap();
         assert_eq!(c.busy_windows, 2);
         assert!((c.mean_service_time - 0.1).abs() < 1e-12);
     }
@@ -314,7 +326,9 @@ mod tests {
             .quantile(0.5)
             .estimate(&util, &n)
             .unwrap();
-        let c95 = ServicePercentileEstimator::new(1.0).estimate(&util, &n).unwrap();
+        let c95 = ServicePercentileEstimator::new(1.0)
+            .estimate(&util, &n)
+            .unwrap();
         // Busy time constant, so quantile choice only changes numerator; both
         // share the same median denominator.
         assert!((c50.p95_service_time - c95.p95_service_time).abs() < 1e-12);
@@ -331,7 +345,9 @@ mod tests {
             util.push(1.0);
             n.push(if k % 3 == 0 { 200u64 } else { 4 });
         }
-        let c = ServicePercentileEstimator::new(1.0).estimate(&util, &n).unwrap();
+        let c = ServicePercentileEstimator::new(1.0)
+            .estimate(&util, &n)
+            .unwrap();
         assert!(
             c.p95_service_time >= c.mean_service_time,
             "p95 {} < mean {}",

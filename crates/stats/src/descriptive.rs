@@ -41,7 +41,10 @@ pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
 /// Returns an error if fewer than two samples are provided.
 pub fn sample_variance(data: &[f64]) -> Result<f64, StatsError> {
     if data.len() < 2 {
-        return Err(StatsError::TraceTooShort { got: data.len(), needed: 2 });
+        return Err(StatsError::TraceTooShort {
+            got: data.len(),
+            needed: 2,
+        });
     }
     let m = mean(data)?;
     Ok(data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64)
@@ -54,7 +57,9 @@ pub fn sample_variance(data: &[f64]) -> Result<f64, StatsError> {
 pub fn scv(data: &[f64]) -> Result<f64, StatsError> {
     let m = mean(data)?;
     if m == 0.0 {
-        return Err(StatsError::Degenerate { reason: "zero mean".into() });
+        return Err(StatsError::Degenerate {
+            reason: "zero mean".into(),
+        });
     }
     Ok(variance(data)? / (m * m))
 }
@@ -67,7 +72,9 @@ pub fn skewness(data: &[f64]) -> Result<f64, StatsError> {
     let m = mean(data)?;
     let var = variance(data)?;
     if var == 0.0 {
-        return Err(StatsError::Degenerate { reason: "zero variance".into() });
+        return Err(StatsError::Degenerate {
+            reason: "zero variance".into(),
+        });
     }
     let third = data.iter().map(|x| (x - m).powi(3)).sum::<f64>() / data.len() as f64;
     Ok(third / var.powf(1.5))
@@ -107,7 +114,10 @@ pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
         return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile input must not contain NaN")
+    });
     Ok(percentile_of_sorted(&sorted, p))
 }
 
@@ -116,7 +126,10 @@ pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
 /// # Panics
 /// Debug-asserts that the data is sorted; callers must guarantee order.
 pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     debug_assert!(!sorted.is_empty());
     if sorted.len() == 1 {
         return sorted[0];
@@ -167,10 +180,15 @@ impl Summary {
         let m = mean(data)?;
         let var = variance(data)?;
         if m == 0.0 {
-            return Err(StatsError::Degenerate { reason: "zero mean".into() });
+            return Err(StatsError::Degenerate {
+                reason: "zero mean".into(),
+            });
         }
         let mut sorted: Vec<f64> = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("summary input must not contain NaN"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("summary input must not contain NaN")
+        });
         Ok(Summary {
             count: data.len(),
             mean: m,
@@ -213,7 +231,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Create an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.
@@ -238,8 +262,8 @@ impl RunningStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -324,7 +348,10 @@ mod tests {
 
     #[test]
     fn scv_rejects_zero_mean() {
-        assert!(matches!(scv(&[-1.0, 1.0]), Err(StatsError::Degenerate { .. })));
+        assert!(matches!(
+            scv(&[-1.0, 1.0]),
+            Err(StatsError::Degenerate { .. })
+        ));
     }
 
     #[test]
@@ -382,7 +409,10 @@ mod tests {
         assert_eq!(s.max, 100.0);
         assert_eq!(s.median, 3.0);
         assert!(s.p95 > 4.0 && s.p95 <= 100.0);
-        assert!(s.scv > 1.0, "heavy upper tail must raise SCV above exponential");
+        assert!(
+            s.scv > 1.0,
+            "heavy upper tail must raise SCV above exponential"
+        );
     }
 
     #[test]

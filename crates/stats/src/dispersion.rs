@@ -212,7 +212,10 @@ impl DispersionEstimator {
                 reason: format!("must be positive, got {}", self.tolerance),
             });
         }
-        if let Some(bad) = utilization.iter().find(|u| !(0.0..=1.0).contains(*u) || u.is_nan()) {
+        if let Some(bad) = utilization
+            .iter()
+            .find(|u| !(0.0..=1.0).contains(*u) || u.is_nan())
+        {
             return Err(StatsError::InvalidParameter {
                 name: "utilization",
                 reason: format!("samples must lie in [0, 1], found {bad}"),
@@ -265,7 +268,11 @@ impl DispersionEstimator {
                 });
             }
             let y = variance(&counts).expect("non-empty") / e;
-            curve.push(CurvePoint { t, y, windows: counts.len() });
+            curve.push(CurvePoint {
+                t,
+                y,
+                windows: counts.len(),
+            });
 
             if let Some(py) = prev_y {
                 // Relative change of Y(t); a flat-at-zero curve (deterministic
@@ -280,7 +287,11 @@ impl DispersionEstimator {
                     (1.0 - y / py).abs()
                 };
                 if rel <= self.tolerance {
-                    return Ok(DispersionEstimate { index: y, converged: true, curve });
+                    return Ok(DispersionEstimate {
+                        index: y,
+                        converged: true,
+                        curve,
+                    });
                 }
             }
             prev_y = Some(y);
@@ -288,9 +299,15 @@ impl DispersionEstimator {
 
         let last = *curve.last().expect("max_levels >= 1");
         if self.strict {
-            return Err(StatsError::NoConvergence { iterations: curve.len() });
+            return Err(StatsError::NoConvergence {
+                iterations: curve.len(),
+            });
         }
-        Ok(DispersionEstimate { index: last.y, converged: false, curve })
+        Ok(DispersionEstimate {
+            index: last.y,
+            converged: false,
+            curve,
+        })
     }
 }
 
@@ -370,10 +387,15 @@ pub fn index_of_dispersion_counting(
         }
     }
     if counts.is_empty() {
-        return Err(StatsError::TraceTooShort { got: 0, needed: MIN_WINDOWS });
+        return Err(StatsError::TraceTooShort {
+            got: 0,
+            needed: MIN_WINDOWS,
+        });
     }
     let util = vec![1.0; counts.len()];
-    DispersionEstimator::new(window).tolerance(tolerance).estimate(&util, &counts)
+    DispersionEstimator::new(window)
+        .tolerance(tolerance)
+        .estimate(&util, &counts)
 }
 
 #[cfg(test)]
@@ -413,7 +435,10 @@ mod tests {
     fn acf_estimator_matches_scv_for_iid() {
         let trace = exponential_trace(100_000, 2.0, 7);
         let i = index_of_dispersion_acf(&trace, 100).unwrap();
-        assert!((0.8..1.2).contains(&i), "I = {i}, expected ~1 for iid exponential");
+        assert!(
+            (0.8..1.2).contains(&i),
+            "I = {i}, expected ~1 for iid exponential"
+        );
     }
 
     #[test]
@@ -470,25 +495,42 @@ mod tests {
 
     #[test]
     fn mismatched_lengths_rejected() {
-        let err = DispersionEstimator::new(1.0).estimate(&[0.5, 0.5], &[1]).unwrap_err();
-        assert!(matches!(err, StatsError::LengthMismatch { left: 2, right: 1 }));
+        let err = DispersionEstimator::new(1.0)
+            .estimate(&[0.5, 0.5], &[1])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StatsError::LengthMismatch { left: 2, right: 1 }
+        ));
     }
 
     #[test]
     fn utilization_out_of_range_rejected() {
-        let err = DispersionEstimator::new(1.0).estimate(&[1.5; 200], &[1; 200]).unwrap_err();
-        assert!(matches!(err, StatsError::InvalidParameter { name: "utilization", .. }));
+        let err = DispersionEstimator::new(1.0)
+            .estimate(&[1.5; 200], &[1; 200])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StatsError::InvalidParameter {
+                name: "utilization",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn all_idle_trace_is_degenerate() {
-        let err = DispersionEstimator::new(1.0).estimate(&[0.0; 200], &[0; 200]).unwrap_err();
+        let err = DispersionEstimator::new(1.0)
+            .estimate(&[0.0; 200], &[0; 200])
+            .unwrap_err();
         assert!(matches!(err, StatsError::Degenerate { .. }));
     }
 
     #[test]
     fn short_trace_is_rejected() {
-        let err = DispersionEstimator::new(1.0).estimate(&[0.5; 10], &[5; 10]).unwrap_err();
+        let err = DispersionEstimator::new(1.0)
+            .estimate(&[0.5; 10], &[5; 10])
+            .unwrap_err();
         assert!(matches!(err, StatsError::TraceTooShort { .. }));
     }
 

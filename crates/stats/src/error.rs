@@ -48,7 +48,10 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::TraceTooShort { got, needed } => {
-                write!(f, "trace too short: got {got} samples, need at least {needed}")
+                write!(
+                    f,
+                    "trace too short: got {got} samples, need at least {needed}"
+                )
             }
             StatsError::LengthMismatch { left, right } => {
                 write!(f, "paired series length mismatch: {left} vs {right}")
@@ -58,7 +61,10 @@ impl fmt::Display for StatsError {
             }
             StatsError::Degenerate { reason } => write!(f, "degenerate input: {reason}"),
             StatsError::NoConvergence { iterations } => {
-                write!(f, "estimator did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "estimator did not converge after {iterations} iterations"
+                )
             }
         }
     }
@@ -72,7 +78,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = StatsError::TraceTooShort { got: 3, needed: 100 };
+        let err = StatsError::TraceTooShort {
+            got: 3,
+            needed: 100,
+        };
         let text = err.to_string();
         assert!(text.contains('3'));
         assert!(text.contains("100"));

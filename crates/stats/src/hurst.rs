@@ -54,11 +54,16 @@ pub struct HurstEstimate {
 /// ```
 pub fn hurst_variance_time(series: &[f64]) -> Result<HurstEstimate, StatsError> {
     if series.len() < 100 {
-        return Err(StatsError::TraceTooShort { got: series.len(), needed: 100 });
+        return Err(StatsError::TraceTooShort {
+            got: series.len(),
+            needed: 100,
+        });
     }
     let base_var = variance(series)?;
     if base_var <= f64::EPSILON {
-        return Err(StatsError::Degenerate { reason: "zero variance series".into() });
+        return Err(StatsError::Degenerate {
+            reason: "zero variance series".into(),
+        });
     }
 
     let max_m = series.len() / 10;
@@ -88,7 +93,11 @@ pub fn hurst_variance_time(series: &[f64]) -> Result<HurstEstimate, StatsError> 
     let xs: Vec<f64> = points.iter().map(|p| (p.m as f64).ln()).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.variance.ln()).collect();
     let (_, slope) = linear_fit(&xs, &ys)?;
-    Ok(HurstEstimate { h: 1.0 + slope / 2.0, slope, points })
+    Ok(HurstEstimate {
+        h: 1.0 + slope / 2.0,
+        slope,
+        points,
+    })
 }
 
 #[cfg(test)]

@@ -17,14 +17,19 @@ use crate::StatsError;
 /// Rejects mismatched or empty inputs and an all-zero `x` (slope undefined).
 pub fn slope_through_origin(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
     if x.len() != y.len() {
-        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     if x.is_empty() {
         return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
     }
     let sxx: f64 = x.iter().map(|v| v * v).sum();
     if sxx == 0.0 {
-        return Err(StatsError::Degenerate { reason: "all regressors are zero".into() });
+        return Err(StatsError::Degenerate {
+            reason: "all regressors are zero".into(),
+        });
     }
     let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
     Ok(sxy / sxx)
@@ -36,17 +41,25 @@ pub fn slope_through_origin(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
 /// Rejects mismatched inputs, fewer than two points, and zero variance in `x`.
 pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<(f64, f64), StatsError> {
     if x.len() != y.len() {
-        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     if x.len() < 2 {
-        return Err(StatsError::TraceTooShort { got: x.len(), needed: 2 });
+        return Err(StatsError::TraceTooShort {
+            got: x.len(),
+            needed: 2,
+        });
     }
     let n = x.len() as f64;
     let mx = x.iter().sum::<f64>() / n;
     let my = y.iter().sum::<f64>() / n;
     let sxx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum();
     if sxx == 0.0 {
-        return Err(StatsError::Degenerate { reason: "zero variance in regressor".into() });
+        return Err(StatsError::Degenerate {
+            reason: "zero variance in regressor".into(),
+        });
     }
     let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
     let slope = sxy / sxx;
@@ -56,7 +69,10 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<(f64, f64), StatsError> {
 /// Coefficient of determination of predictions `yhat` against observations `y`.
 pub fn r_squared(y: &[f64], yhat: &[f64]) -> Result<f64, StatsError> {
     if y.len() != yhat.len() {
-        return Err(StatsError::LengthMismatch { left: y.len(), right: yhat.len() });
+        return Err(StatsError::LengthMismatch {
+            left: y.len(),
+            right: yhat.len(),
+        });
     }
     if y.is_empty() {
         return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
@@ -64,7 +80,9 @@ pub fn r_squared(y: &[f64], yhat: &[f64]) -> Result<f64, StatsError> {
     let my = y.iter().sum::<f64>() / y.len() as f64;
     let ss_tot: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
     if ss_tot == 0.0 {
-        return Err(StatsError::Degenerate { reason: "zero variance in response".into() });
+        return Err(StatsError::Degenerate {
+            reason: "zero variance in response".into(),
+        });
     }
     let ss_res: f64 = y.iter().zip(yhat).map(|(a, b)| (a - b) * (a - b)).sum();
     Ok(1.0 - ss_res / ss_tot)
@@ -107,13 +125,19 @@ pub fn estimate_demand(
 ) -> Result<DemandEstimate, StatsError> {
     let busy = crate::busy::busy_times(utilization, resolution)?;
     if busy.len() != completions.len() {
-        return Err(StatsError::LengthMismatch { left: busy.len(), right: completions.len() });
+        return Err(StatsError::LengthMismatch {
+            left: busy.len(),
+            right: completions.len(),
+        });
     }
     let x: Vec<f64> = completions.iter().map(|&n| n as f64).collect();
     let slope = slope_through_origin(&x, &busy)?;
     let yhat: Vec<f64> = x.iter().map(|v| slope * v).collect();
     let r2 = r_squared(&busy, &yhat).unwrap_or(1.0);
-    Ok(DemandEstimate { mean_service_time: slope, r_squared: r2 })
+    Ok(DemandEstimate {
+        mean_service_time: slope,
+        r_squared: r2,
+    })
 }
 
 /// Multi-class utilization-law regression:
@@ -185,7 +209,10 @@ fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<()> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
         })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
@@ -272,7 +299,9 @@ mod tests {
         let util: Vec<f64> = counts
             .iter()
             .enumerate()
-            .map(|(k, &n)| (n as f64 * 0.008 + 0.01 * ((k % 5) as f64 - 2.0) * 0.01).clamp(0.0, 1.0))
+            .map(|(k, &n)| {
+                (n as f64 * 0.008 + 0.01 * ((k % 5) as f64 - 2.0) * 0.01).clamp(0.0, 1.0)
+            })
             .collect();
         let d = estimate_demand(&util, &counts, 1.0).unwrap();
         assert!(
@@ -301,7 +330,9 @@ mod tests {
     #[test]
     fn multiclass_rejects_collinear_counts() {
         // Class 1 always exactly 2x class 0 -> singular.
-        let counts: Vec<Vec<u64>> = (0..100).map(|k| vec![k % 10 + 1, 2 * (k % 10 + 1)]).collect();
+        let counts: Vec<Vec<u64>> = (0..100)
+            .map(|k| vec![k % 10 + 1, 2 * (k % 10 + 1)])
+            .collect();
         let util: Vec<f64> = counts.iter().map(|r| r[0] as f64 * 0.01).collect();
         assert!(matches!(
             estimate_demands_multiclass(&util, &counts, 1.0),

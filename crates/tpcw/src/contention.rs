@@ -90,7 +90,10 @@ impl ContentionConfig {
             ));
         }
         if self.mean_duration <= 0.0 || !self.mean_duration.is_finite() {
-            return Err(format!("mean_duration must be positive, got {}", self.mean_duration));
+            return Err(format!(
+                "mean_duration must be positive, got {}",
+                self.mean_duration
+            ));
         }
         if self.mean_cooldown < 0.0 || !self.mean_cooldown.is_finite() {
             return Err(format!(
@@ -249,14 +252,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = ContentionConfig::default();
-        c.trigger_probability = 1.5;
+        let c = ContentionConfig {
+            trigger_probability: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ContentionConfig::default();
-        c.mean_duration = 0.0;
+        let c = ContentionConfig {
+            mean_duration: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ContentionConfig::default();
-        c.slowdown = 0.5;
+        let c = ContentionConfig {
+            slowdown: 0.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -323,7 +332,11 @@ mod tests {
         r.on_best_sellers_arrival(0.0, 1, &mut rng);
         let first_end = r.contended_until;
         r.on_best_sellers_arrival(first_end - 0.01, 3, &mut rng);
-        assert_eq!(r.episodes(), 1, "mid-episode triggers must not extend or recount");
+        assert_eq!(
+            r.episodes(),
+            1,
+            "mid-episode triggers must not extend or recount"
+        );
         assert!((r.contended_until - first_end).abs() < 1e-12);
     }
 

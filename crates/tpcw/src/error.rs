@@ -40,7 +40,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TpcwError::InvalidParameter { name: "ebs", reason: "zero".into() };
+        let e = TpcwError::InvalidParameter {
+            name: "ebs",
+            reason: "zero".into(),
+        };
         assert!(e.to_string().contains("ebs"));
     }
 

@@ -207,7 +207,10 @@ mod tests {
         // Repeat probability exceeds the iid baseline thanks to persistence.
         let freq = repeats as f64 / n as f64;
         let iid_baseline: f64 = mix.weights().iter().map(|w| w * w).sum();
-        assert!(freq > iid_baseline + 0.05, "freq {freq} vs baseline {iid_baseline}");
+        assert!(
+            freq > iid_baseline + 0.05,
+            "freq {freq} vs baseline {iid_baseline}"
+        );
     }
 
     #[test]
@@ -217,10 +220,16 @@ mod tests {
         let b_db = Mix::Browsing.mean_db_demand();
         let s_db = Mix::Shopping.mean_db_demand();
         let o_db = Mix::Ordering.mean_db_demand();
-        assert!(b_db > s_db && s_db > o_db, "db demands: {b_db}, {s_db}, {o_db}");
+        assert!(
+            b_db > s_db && s_db > o_db,
+            "db demands: {b_db}, {s_db}, {o_db}"
+        );
         let b_fs = Mix::Browsing.mean_front_demand();
         let o_fs = Mix::Ordering.mean_front_demand();
-        assert!(o_fs < b_fs, "ordering should be lighter on the front server");
+        assert!(
+            o_fs < b_fs,
+            "ordering should be lighter on the front server"
+        );
     }
 
     #[test]

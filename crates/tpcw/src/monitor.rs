@@ -97,7 +97,9 @@ impl TestbedRun {
         };
         let windows = fine.len() / step;
         if windows == 0 {
-            return Err(TpcwError::NoObservations { what: "monitoring windows" });
+            return Err(TpcwError::NoObservations {
+                what: "monitoring windows",
+            });
         }
         let utilization: Vec<f64> = (0..windows)
             .map(|w| fine[w * step..(w + 1) * step].iter().sum::<f64>() / step as f64)

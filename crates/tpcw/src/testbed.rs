@@ -149,10 +149,12 @@ impl TestbedConfig {
                 reason: "two-phase PH work distributions need scv >= 1/2".into(),
             });
         }
-        self.contention.validate().map_err(|reason| TpcwError::InvalidParameter {
-            name: "contention",
-            reason,
-        })
+        self.contention
+            .validate()
+            .map_err(|reason| TpcwError::InvalidParameter {
+                name: "contention",
+                reason,
+            })
     }
 }
 
@@ -166,7 +168,10 @@ enum Stage {
     /// Running a front-server slice; `remaining_queries` DB queries left.
     Front { remaining_queries: u32 },
     /// Waiting on a database query; returns to the front afterwards.
-    Db { remaining_queries: u32, best_seller: bool },
+    Db {
+        remaining_queries: u32,
+        best_seller: bool,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -232,8 +237,9 @@ impl Testbed {
         let mut db_counts = CountRecorder::new(cfg.count_resolution);
         let mut fs_queue_rec = QueueLengthRecorder::new(cfg.util_resolution);
         let mut db_queue_rec = QueueLengthRecorder::new(cfg.util_resolution);
-        let mut type_rec: Vec<QueueLengthRecorder> =
-            (0..14).map(|_| QueueLengthRecorder::new(cfg.util_resolution)).collect();
+        let mut type_rec: Vec<QueueLengthRecorder> = (0..14)
+            .map(|_| QueueLengthRecorder::new(cfg.util_resolution))
+            .collect();
         let mut in_system = [0u32; 14];
         let mut best_sellers_resident: usize = 0;
         let mut fs_busy_since: Option<f64> = None;
@@ -263,8 +269,11 @@ impl Testbed {
                     let tx = cfg.mix.next_transaction(eb_type[eb], &mut rng);
                     eb_type[eb] = tx;
                     let (q_lo, q_hi) = tx.db_query_range();
-                    let queries =
-                        if q_lo == q_hi { q_lo } else { rng.random_range(q_lo..=q_hi) };
+                    let queries = if q_lo == q_hi {
+                        q_lo
+                    } else {
+                        rng.random_range(q_lo..=q_hi)
+                    };
                     let total_fs = fs_slice_dist(tx.front_demand())
                         .expect("validated scv")
                         .sample(&mut rng);
@@ -279,7 +288,9 @@ impl Testbed {
                             tx,
                             started: now,
                             slice_work,
-                            stage: Stage::Front { remaining_queries: queries },
+                            stage: Stage::Front {
+                                remaining_queries: queries,
+                            },
                         },
                     );
                     in_system[tx.index()] += 1;
@@ -318,8 +329,11 @@ impl Testbed {
                         if is_bs {
                             shared.on_best_sellers_arrival(now, best_sellers_resident, &mut rng);
                         }
-                        let mult =
-                            if is_shared { shared.multiplier(now) } else { 1.0 };
+                        let mult = if is_shared {
+                            shared.multiplier(now)
+                        } else {
+                            1.0
+                        };
                         let work = db_query_dist(job.tx.db_query_demand())
                             .expect("validated scv")
                             .sample(&mut rng)
@@ -366,7 +380,11 @@ impl Testbed {
                     }
 
                     let job = jobs.get_mut(&done.id).expect("job metadata exists");
-                    let Stage::Db { remaining_queries, best_seller } = job.stage else {
+                    let Stage::Db {
+                        remaining_queries,
+                        best_seller,
+                    } = job.stage
+                    else {
                         unreachable!("db completion for a job not at the database");
                     };
                     if best_seller {
@@ -402,14 +420,11 @@ impl Testbed {
 
         // Trim all series to the measured interval.
         let fine_skip = (cfg.warmup / cfg.util_resolution).round() as usize;
-        let fine_keep =
-            ((measure_to - cfg.warmup) / cfg.util_resolution).floor() as usize;
+        let fine_keep = ((measure_to - cfg.warmup) / cfg.util_resolution).floor() as usize;
         let coarse_skip = (cfg.warmup / cfg.count_resolution).round() as usize;
-        let coarse_keep =
-            ((measure_to - cfg.warmup) / cfg.count_resolution).floor() as usize;
-        let trim_f64 = |v: Vec<f64>| -> Vec<f64> {
-            v.into_iter().skip(fine_skip).take(fine_keep).collect()
-        };
+        let coarse_keep = ((measure_to - cfg.warmup) / cfg.count_resolution).floor() as usize;
+        let trim_f64 =
+            |v: Vec<f64>| -> Vec<f64> { v.into_iter().skip(fine_skip).take(fine_keep).collect() };
         let trim_u64 = |v: Vec<u64>| -> Vec<u64> {
             v.into_iter().skip(coarse_skip).take(coarse_keep).collect()
         };
@@ -417,7 +432,9 @@ impl Testbed {
         let measured_seconds = measure_to - cfg.warmup;
         let completed = responses.count();
         if completed == 0 {
-            return Err(TpcwError::NoObservations { what: "completed transactions" });
+            return Err(TpcwError::NoObservations {
+                what: "completed transactions",
+            });
         }
 
         Ok(TestbedRun {
@@ -440,9 +457,11 @@ impl Testbed {
             response_mean: responses.mean().map_err(|_| TpcwError::NoObservations {
                 what: "response times",
             })?,
-            response_p95: responses.percentile(0.95).map_err(|_| {
-                TpcwError::NoObservations { what: "response times" }
-            })?,
+            response_p95: responses
+                .percentile(0.95)
+                .map_err(|_| TpcwError::NoObservations {
+                    what: "response times",
+                })?,
             contention_episodes: shared.episodes(),
             contended_seconds: shared.contended_seconds(),
             util_resolution: cfg.util_resolution,
@@ -478,14 +497,10 @@ mod tests {
     use crate::monitor::TierId;
 
     fn quick(mix: Mix, ebs: usize, seed: u64) -> TestbedRun {
-        Testbed::new(
-            TestbedConfig::new(mix, ebs)
-                .duration(240.0)
-                .seed(seed),
-        )
-        .unwrap()
-        .run()
-        .unwrap()
+        Testbed::new(TestbedConfig::new(mix, ebs).duration(240.0).seed(seed))
+            .unwrap()
+            .run()
+            .unwrap()
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub const ALL_TYPES: [TxType; 14] = [
 impl TxType {
     /// Index of this type in [`ALL_TYPES`] (stable across the workspace).
     pub fn index(self) -> usize {
-        ALL_TYPES.iter().position(|&t| t == self).expect("ALL_TYPES is exhaustive")
+        ALL_TYPES
+            .iter()
+            .position(|&t| t == self)
+            .expect("ALL_TYPES is exhaustive")
     }
 
     /// Browsing/Ordering classification (the paper's Table 3).
@@ -190,10 +193,14 @@ mod tests {
 
     #[test]
     fn class_split_matches_table_3() {
-        let browsing: Vec<_> =
-            ALL_TYPES.iter().filter(|t| t.class() == TxClass::Browsing).collect();
-        let ordering: Vec<_> =
-            ALL_TYPES.iter().filter(|t| t.class() == TxClass::Ordering).collect();
+        let browsing: Vec<_> = ALL_TYPES
+            .iter()
+            .filter(|t| t.class() == TxClass::Browsing)
+            .collect();
+        let ordering: Vec<_> = ALL_TYPES
+            .iter()
+            .filter(|t| t.class() == TxClass::Ordering)
+            .collect();
         assert_eq!(browsing.len(), 6);
         assert_eq!(ordering.len(), 8);
     }
@@ -232,8 +239,16 @@ mod tests {
     #[test]
     fn demands_are_positive_and_reasonable() {
         for t in ALL_TYPES {
-            assert!(t.front_demand() > 0.0 && t.front_demand() < 0.1, "{}", t.name());
-            assert!(t.db_query_demand() > 0.0 && t.db_query_demand() < 0.1, "{}", t.name());
+            assert!(
+                t.front_demand() > 0.0 && t.front_demand() < 0.1,
+                "{}",
+                t.name()
+            );
+            assert!(
+                t.db_query_demand() > 0.0 && t.db_query_demand() < 0.1,
+                "{}",
+                t.name()
+            );
             let (lo, hi) = t.db_query_range();
             assert!(lo >= 1 && lo <= hi && hi <= 5, "{}", t.name());
         }

@@ -7,9 +7,7 @@
 //! SCV 3); only the *order* of the samples differs. The index of dispersion
 //! tells them apart, and the M/Trace/1 queue shows the response-time cost.
 
-use burstcap_map::trace::{
-    balanced_p_small, hyperexp_trace, impose_burstiness, BurstProfile,
-};
+use burstcap_map::trace::{balanced_p_small, hyperexp_trace, impose_burstiness, BurstProfile};
 use burstcap_sim::queues::MTrace1;
 use burstcap_stats::dispersion::index_of_dispersion_counting;
 
@@ -18,8 +16,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p_small = balanced_p_small(3.0)?;
     let profiles = [
         ("(a) i.i.d.", BurstProfile::Iid),
-        ("(b) mild bursts", BurstProfile::Modulated { p_small, gamma: 0.95 }),
-        ("(c) strong bursts", BurstProfile::Modulated { p_small, gamma: 0.995 }),
+        (
+            "(b) mild bursts",
+            BurstProfile::Modulated {
+                p_small,
+                gamma: 0.95,
+            },
+        ),
+        (
+            "(c) strong bursts",
+            BurstProfile::Modulated {
+                p_small,
+                gamma: 0.995,
+            },
+        ),
         ("(d) one giant burst", BurstProfile::Sorted),
     ];
 

@@ -10,9 +10,9 @@
 //! 3. Predict throughput for a sweep of EB populations at `Z_qn = 0.5 s`
 //!    and compare against fresh "measured" testbed runs.
 
-use burstcap::report::AccuracyReport;
-use burstcap::planner::{CapacityPlanner, MvaBaseline};
 use burstcap::measurements::TierMeasurements;
+use burstcap::planner::{CapacityPlanner, MvaBaseline};
+use burstcap::report::AccuracyReport;
 use burstcap_tpcw::mix::Mix;
 use burstcap_tpcw::monitor::TierId;
 use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
@@ -20,12 +20,19 @@ use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Estimation run ------------------------------------------------
     let estimation = Testbed::new(
-        TestbedConfig::new(Mix::Browsing, 50).think_time(7.0).duration(1800.0).seed(7),
+        TestbedConfig::new(Mix::Browsing, 50)
+            .think_time(7.0)
+            .duration(1800.0)
+            .seed(7),
     )?
     .run()?;
     let tier = |id| -> Result<TierMeasurements, Box<dyn std::error::Error>> {
         let m = estimation.monitoring(id)?;
-        Ok(TierMeasurements::new(m.resolution, m.utilization, m.completions)?)
+        Ok(TierMeasurements::new(
+            m.resolution,
+            m.utilization,
+            m.completions,
+        )?)
     };
     let front = tier(TierId::Front)?;
     let db = tier(TierId::Db)?;
@@ -44,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut measured = Vec::new();
     for (k, &ebs) in populations.iter().enumerate() {
         let run = Testbed::new(
-            TestbedConfig::new(Mix::Browsing, ebs).duration(600.0).seed(100 + k as u64),
+            TestbedConfig::new(Mix::Browsing, ebs)
+                .duration(600.0)
+                .seed(100 + k as u64),
         )?
         .run()?;
         measured.push((ebs, run.throughput));

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let planner = CapacityPlanner::from_measurements(&front, &db)?;
     let fc = planner.front_characterization();
     let dc = planner.db_characterization();
-    println!("front: mean = {:.2} ms, I = {:.1}", fc.mean_service_time * 1e3, fc.index_of_dispersion);
+    println!(
+        "front: mean = {:.2} ms, I = {:.1}",
+        fc.mean_service_time * 1e3,
+        fc.index_of_dispersion
+    );
     println!(
         "db:    mean = {:.2} ms, I = {:.1}, p95 = {:.2} ms",
         dc.mean_service_time * 1e3,

@@ -13,10 +13,15 @@ fn tier(run: &TestbedRun, id: TierId) -> TierMeasurements {
 }
 
 fn estimation_run(mix: Mix, z: f64, ebs: usize, seed: u64) -> TestbedRun {
-    Testbed::new(TestbedConfig::new(mix, ebs).think_time(z).duration(2400.0).seed(seed))
-        .expect("valid config")
-        .run()
-        .expect("testbed runs")
+    Testbed::new(
+        TestbedConfig::new(mix, ebs)
+            .think_time(z)
+            .duration(2400.0)
+            .seed(seed),
+    )
+    .expect("valid config")
+    .run()
+    .expect("testbed runs")
 }
 
 #[test]
@@ -34,10 +39,15 @@ fn browsing_pipeline_beats_mva_at_saturation() {
     let i_db = planner.db_characterization().index_of_dispersion;
     let i_fs = planner.front_characterization().index_of_dispersion;
     assert!(i_db > 10.0, "I_db = {i_db}, expected strongly bursty");
-    assert!(i_db > 4.0 * i_fs, "I_db = {i_db} should dwarf I_fs = {i_fs}");
+    assert!(
+        i_db > 4.0 * i_fs,
+        "I_db = {i_db} should dwarf I_fs = {i_fs}"
+    );
 
     let measured = Testbed::new(
-        TestbedConfig::new(Mix::Browsing, 125).duration(900.0).seed(9),
+        TestbedConfig::new(Mix::Browsing, 125)
+            .duration(900.0)
+            .seed(9),
     )
     .expect("valid")
     .run()
@@ -51,7 +61,10 @@ fn browsing_pipeline_beats_mva_at_saturation() {
         model_err < mva_err,
         "burst-aware model (err {model_err:.3}) must beat MVA (err {mva_err:.3})"
     );
-    assert!(model_err < 0.2, "model error {model_err:.3} should stay within 20%");
+    assert!(
+        model_err < 0.2,
+        "model error {model_err:.3} should stay within 20%"
+    );
 }
 
 #[test]
@@ -64,7 +77,9 @@ fn ordering_pipeline_matches_mva() {
     let mva = MvaBaseline::from_measurements(&front, &db).expect("regresses");
 
     let measured = Testbed::new(
-        TestbedConfig::new(Mix::Ordering, 100).duration(900.0).seed(10),
+        TestbedConfig::new(Mix::Ordering, 100)
+            .duration(900.0)
+            .seed(10),
     )
     .expect("valid")
     .run()
@@ -73,7 +88,10 @@ fn ordering_pipeline_matches_mva() {
     let baseline = mva.predict(100, 0.5).expect("baseline");
     for (name, x) in [("model", model.throughput), ("mva", baseline.throughput)] {
         let err = (x - measured.throughput).abs() / measured.throughput;
-        assert!(err < 0.1, "{name} error {err:.3} too large for the ordering mix");
+        assert!(
+            err < 0.1,
+            "{name} error {err:.3} too large for the ordering mix"
+        );
     }
 }
 

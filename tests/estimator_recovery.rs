@@ -10,7 +10,10 @@ use burstcap_stats::dispersion::{index_of_dispersion_acf, index_of_dispersion_co
 
 /// Sample a long trace from a known MAP(2).
 fn trace_of(i_target: f64, seed: u64, n: usize) -> Vec<f64> {
-    let map = Map2Fitter::new(1.0, i_target, 3.0).fit().expect("feasible").map();
+    let map = Map2Fitter::new(1.0, i_target, 3.0)
+        .fit()
+        .expect("feasible")
+        .map();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut sampler = MapSampler::new(map, &mut rng);
     sampler.sample_trace(n, &mut rng)
@@ -48,7 +51,10 @@ fn full_fit_roundtrip_preserves_queueing_behaviour() {
     // Fit a MAP to a trace sampled from a known MAP, then verify that both
     // produce similar closed-network throughput — the property that matters
     // for capacity planning.
-    let truth = Map2Fitter::new(0.006, 80.0, 0.018).fit().expect("feasible").map();
+    let truth = Map2Fitter::new(0.006, 80.0, 0.018)
+        .fit()
+        .expect("feasible")
+        .map();
     let mut rng = SmallRng::seed_from_u64(23);
     let mut sampler = MapSampler::new(truth, &mut rng);
     let trace: Vec<f64> = sampler.sample_trace(400_000, &mut rng);
@@ -76,7 +82,10 @@ fn full_fit_roundtrip_preserves_queueing_behaviour() {
 fn busy_period_p95_tracks_marginal_quantile() {
     // Synthesize monitoring windows from a known marginal and verify the
     // Section 4.1 p95 estimator lands near the true quantile at high I.
-    let map = Map2Fitter::new(1.0, 200.0, 3.5).fit().expect("feasible").map();
+    let map = Map2Fitter::new(1.0, 200.0, 3.5)
+        .fit()
+        .expect("feasible")
+        .map();
     let mut rng = SmallRng::seed_from_u64(24);
     let mut sampler = MapSampler::new(map, &mut rng);
     let trace = sampler.sample_trace(300_000, &mut rng);

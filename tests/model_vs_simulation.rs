@@ -7,7 +7,10 @@ use burstcap_qn::mapqn::MapNetwork;
 use burstcap_sim::queues::ClosedMapNetwork;
 
 fn check_agreement(front: Map2, db: Map2, pop: usize, seed: u64, tol: f64) {
-    let exact = MapNetwork::new(pop, 0.4, front, db).expect("valid").solve().expect("solves");
+    let exact = MapNetwork::new(pop, 0.4, front, db)
+        .expect("valid")
+        .solve()
+        .expect("solves");
     let sim = ClosedMapNetwork::new(pop, 0.4, front, db)
         .expect("valid")
         .run(4000.0, 400.0, seed)
@@ -26,8 +29,7 @@ fn check_agreement(front: Map2, db: Map2, pop: usize, seed: u64, tol: f64) {
         sim.utilization_db
     );
     assert!(
-        (exact.mean_jobs_front - sim.mean_jobs_front).abs()
-            < 0.15 * pop as f64 + 0.5,
+        (exact.mean_jobs_front - sim.mean_jobs_front).abs() < 0.15 * pop as f64 + 0.5,
         "pop {pop}: Q_fs analytic {} vs sim {}",
         exact.mean_jobs_front,
         sim.mean_jobs_front
@@ -43,8 +45,14 @@ fn exponential_network_agrees() {
 
 #[test]
 fn moderately_bursty_network_agrees() {
-    let front = Map2Fitter::new(0.01, 10.0, 0.03).fit().expect("feasible").map();
-    let db = Map2Fitter::new(0.006, 40.0, 0.02).fit().expect("feasible").map();
+    let front = Map2Fitter::new(0.01, 10.0, 0.03)
+        .fit()
+        .expect("feasible")
+        .map();
+    let db = Map2Fitter::new(0.006, 40.0, 0.02)
+        .fit()
+        .expect("feasible")
+        .map();
     check_agreement(front, db, 25, 12, 0.06);
 }
 
@@ -52,18 +60,26 @@ fn moderately_bursty_network_agrees() {
 fn strongly_bursty_network_agrees() {
     // Long simulation needed: rare slow phases dominate the variance.
     let front = Map2::poisson(1.0 / 0.008).expect("valid");
-    let db = Map2Fitter::new(0.005, 150.0, 0.015).fit().expect("feasible").map();
+    let db = Map2Fitter::new(0.005, 150.0, 0.015)
+        .fit()
+        .expect("feasible")
+        .map();
     check_agreement(front, db, 30, 13, 0.10);
 }
 
 #[test]
 fn population_sweep_is_monotone_in_both() {
     let front = Map2::poisson(1.0 / 0.01).expect("valid");
-    let db = Map2Fitter::new(0.007, 60.0, 0.02).fit().expect("feasible").map();
+    let db = Map2Fitter::new(0.007, 60.0, 0.02)
+        .fit()
+        .expect("feasible")
+        .map();
     let mut last_exact = 0.0;
     for pop in [5usize, 15, 30] {
-        let exact =
-            MapNetwork::new(pop, 0.4, front, db).expect("valid").solve().expect("solves");
+        let exact = MapNetwork::new(pop, 0.4, front, db)
+            .expect("valid")
+            .solve()
+            .expect("solves");
         assert!(exact.throughput >= last_exact - 1e-9);
         last_exact = exact.throughput;
     }

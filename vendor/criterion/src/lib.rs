@@ -1,0 +1,257 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the bench-definition API the workspace's `benches/` targets use
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`) with a simple
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//!
+//! Reported numbers are medians over `sample_size` samples of a
+//! auto-calibrated inner batch, printed one line per benchmark:
+//!
+//! ```text
+//! bench group/id ... median 12.345 µs/iter (10 samples)
+//! ```
+//!
+//! Set `BURSTCAP_BENCH_FAST=1` to clamp sampling to one short sample per
+//! benchmark — used by CI to smoke-run every bench target cheaply.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench driver, one per bench target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("BURSTCAP_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a closure under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks; it inherits this driver's
+    /// configured sample size (as in real criterion).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Run configuration hook (accepted for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Time a closure parameterized by `input` under `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let n = self.sample_size;
+        run_bench(&label, n, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter rendering.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the bench closure; call [`Bencher::iter`] with the hot code.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `batch` iterations of `f`, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let fast = fast_mode();
+    // Calibrate the batch so one sample takes ~5 ms (1 iteration in fast mode).
+    let mut batch: u64 = 1;
+    if !fast {
+        loop {
+            let mut b = Bencher {
+                batch,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+    }
+    let samples = if fast { 1 } else { sample_size };
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                batch,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("bench times are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    let (value, unit) = humanize(median);
+    println!("bench {label} ... median {value:.3} {unit}/iter ({samples} samples, batch {batch})");
+}
+
+fn humanize(seconds: f64) -> (f64, &'static str) {
+    if seconds >= 1.0 {
+        (seconds, "s")
+    } else if seconds >= 1e-3 {
+        (seconds * 1e3, "ms")
+    } else if seconds >= 1e-6 {
+        (seconds * 1e6, "µs")
+    } else {
+        (seconds * 1e9, "ns")
+    }
+}
+
+/// Define a bench group: either `criterion_group!(name, target, ...)` or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.bench_function("id", |b| b.iter(|| black_box(0)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_groups_and_ids() {
+        std::env::set_var("BURSTCAP_BENCH_FAST", "1");
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2);
+            targets = quick
+        }
+        benches();
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements exactly the subset of the proptest API the workspace's
+//! property suites use: the [`proptest!`] macro over `pat in strategy`
+//! arguments, `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! [`prop_assert!`], [`prop_assume!`], [`any`], numeric-range strategies,
+//! tuple strategies, and `prop::collection::vec`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   case number; cases are fully deterministic (seeded from the test's
+//!   module path and name), so a failure reproduces identically on rerun.
+//! * **Deterministic by construction.** There is no environment-variable
+//!   RNG override; two consecutive `cargo test` runs execute byte-identical
+//!   case sequences, which the workspace requires of its tier-1 suite.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs out; the case is not counted.
+    Reject,
+    /// `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic per-test RNG: FNV-1a over the fully qualified test name,
+/// fed through the `SmallRng` seeding path.
+pub fn deterministic_rng(module_path: &str, test_name: &str) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in module_path.bytes().chain([b':']).chain(test_name.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        self.start + (self.end - self.start) * rng.random::<f64>()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.random::<f64>()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u64, u32, usize, i64, i32);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of the type.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u64, u32, u16, u8, i64, i32, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+/// Strategy over the full domain of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SmallRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of an element strategy (see [`vec`]).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs, mirroring
+    //! `proptest::prelude::*`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// Alias so `prop::collection::vec(...)` resolves as in real proptest.
+    pub use crate as prop;
+}
+
+/// Assert inside a property; failure reports the case and stops the test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `match` rather than `if !cond` keeps clippy's
+        // neg_cmp_op_on_partial_ord out of every float-comparison call site.
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                    "assertion failed: {}",
+                    stringify!($cond)
+                )))
+            }
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                    $($fmt)+
+                )))
+            }
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Reject the current case (not counted towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        match $cond {
+            true => {}
+            false => return ::std::result::Result::Err($crate::TestCaseError::Reject),
+        }
+    };
+}
+
+/// The property-test entry point; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $crate::proptest!(@one ($cfg) $(#[$meta])* fn $name ( $($pat in $strat),+ ) $body);
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $crate::proptest!(@one ($crate::ProptestConfig::default())
+                $(#[$meta])* fn $name ( $($pat in $strat),+ ) $body);
+        )*
+    };
+    (@one ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::deterministic_rng(module_path!(), stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(100);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest shim: too many rejected cases ({} attempts for {} target cases)",
+                    attempts,
+                    config.cases
+                );
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property '{}' failed on deterministic case {}: {}",
+                            stringify!($name),
+                            attempts,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 1.5f64..9.5, n in 3usize..40) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..40).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(mut v in prop::collection::vec(0.0f64..1.0, 2..17)) {
+            prop_assert!(v.len() >= 2 && v.len() < 17);
+            v.push(0.5);
+            prop_assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0.0f64..1.0, 1u64..9), seed in any::<u64>()) {
+            prop_assert!(pair.0 < 1.0 && pair.1 >= 1 && pair.1 < 9);
+            // Exercise the format-args branch of prop_assert.
+            prop_assert!(seed == seed, "seed {seed} must equal itself");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.25);
+            prop_assert!(x > 0.25);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0usize..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runners() {
+        let mut a = crate::deterministic_rng("m", "t");
+        let mut b = crate::deterministic_rng("m", "t");
+        let s = 0.0f64..1.0;
+        for _ in 0..64 {
+            assert_eq!(Strategy::sample(&s, &mut a).to_bits(), {
+                Strategy::sample(&s, &mut b).to_bits()
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0);
+            }
+        }
+        always_fails();
+    }
+}

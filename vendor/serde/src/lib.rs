@@ -1,0 +1,48 @@
+//! Offline shim for `serde`.
+//!
+//! Nothing in the workspace serializes at runtime today — the paper crates
+//! derive `Serialize`/`Deserialize` so result types are ready for future
+//! JSON/CSV export. With no registry access, this shim keeps those derives
+//! compiling by providing the two names as empty marker traits plus the
+//! matching derive macros from the vendored [`serde_derive`].
+//!
+//! Swapping in real `serde` later is a one-line manifest change; no source
+//! edits will be needed because the trait/derive names match exactly.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Common std impls so container/newtype usage keeps compiling if bounds
+// appear later.
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(
+    bool, char, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl Serialize for &str {}
+
+// NOTE: the derive macros expand to `impl ::serde::Trait for ...`, which
+// cannot resolve from inside this crate itself (same limitation as real
+// serde). Derive expansion is exercised by `tests/workspace_smoke.rs` in the
+// umbrella crate and by every paper crate that derives these traits.

@@ -1,0 +1,142 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace's vendored `serde` exposes `Serialize`/`Deserialize` as
+//! marker traits with no methods (nothing in the tree actually serializes;
+//! the derives on the paper crates exist so downstream tooling can opt in
+//! later). These derive macros therefore only need to emit an empty trait
+//! impl with the right generics — which a small hand-rolled token scan can
+//! produce without `syn`/`quote` (unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The target of a derive: its name and raw generic parameter tokens.
+struct Target {
+    name: String,
+    /// Generic parameter list *with* bounds, e.g. `E: Clone, const N: usize`.
+    params: String,
+    /// Generic argument list without bounds, e.g. `E, N`.
+    args: String,
+}
+
+/// Scan the item's tokens for `struct`/`enum`, its name, and generics.
+fn parse_target(input: TokenStream) -> Target {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes, visibility, and doc comments until the item keyword.
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+
+    // Collect generics if present: tokens between the matching `<` ... `>`.
+    let mut params = String::new();
+    let mut args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+        if p.as_char() == '<' {
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            let mut generic_tokens: Vec<TokenTree> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                if let TokenTree::Punct(p) = &tokens[j] {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                generic_tokens.push(tokens[j].clone());
+                j += 1;
+            }
+            params = generic_tokens
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            args = generic_args(&generic_tokens);
+        }
+    }
+    Target { name, params, args }
+}
+
+/// Reduce a generic *parameter* list to its *argument* list: keep only the
+/// introduced identifiers (lifetimes, type names, const names), dropping
+/// bounds and defaults.
+fn generic_args(tokens: &[TokenTree]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut depth = 0usize; // inside bound brackets we skip everything
+    let mut skip = false; // true after `:` or `=` until the next top-level `,`
+    let mut lifetime = false;
+    let mut expect_const_name = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => skip = false,
+                ':' | '=' if depth == 0 => skip = true,
+                '\'' if depth == 0 && !skip => lifetime = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 0 && !skip => {
+                let s = id.to_string();
+                if s == "const" {
+                    expect_const_name = true;
+                } else if lifetime {
+                    out.push(format!("'{s}"));
+                    lifetime = false;
+                    skip = true;
+                } else {
+                    out.push(s);
+                    if expect_const_name {
+                        expect_const_name = false;
+                    }
+                    skip = true;
+                }
+            }
+            TokenTree::Group(g) if depth == 0 && g.delimiter() == Delimiter::None => {}
+            _ => {}
+        }
+    }
+    out.join(", ")
+}
+
+fn empty_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let t = parse_target(input);
+    let (params, args) = if t.params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (format!("<{}>", t.params), format!("<{}>", t.args))
+    };
+    format!(
+        "impl{params} {trait_path} for {name}{args} {{}}",
+        name = t.name
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
+
+/// Derive the vendored marker trait `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Serialize", input)
+}
+
+/// Derive the vendored marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Deserialize", input)
+}
