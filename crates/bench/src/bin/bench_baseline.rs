@@ -1,0 +1,172 @@
+//! Performance-trajectory snapshot: times the CTMC solver stack on the
+//! paper's MAP(2)×MAP(2) network and writes a `BENCH_*.json` record.
+//!
+//! Two sweeps:
+//!
+//! * **dense-feasible populations** — dense LU oracle vs the sparse CSR
+//!   engine on identical instances, ending at the largest population the
+//!   oracle can still solve in reasonable time; the summary records the
+//!   sparse-over-dense speedup there;
+//! * **sparse-only populations** — the sparse engine and the direct
+//!   level-reduction out to population 100, where the dense path is long
+//!   intractable.
+//!
+//! Usage: `cargo run --release -p burstcap-bench --bin bench_baseline
+//! [output.json]` (default output `BENCH_baseline.json` in the current
+//! directory). `BURSTCAP_BENCH_FAST=1` drops to one timing repetition.
+//!
+//! Wall-clock numbers are a snapshot of one machine, not a deterministic
+//! artifact; the JSON exists so the repo's perf trajectory is visible from
+//! commit to commit.
+
+use std::time::Instant;
+
+use burstcap_map::fit::Map2Fitter;
+use burstcap_qn::ctmc::SteadyStateMethod;
+use burstcap_qn::mapqn::{MapNetwork, MapQnSolution};
+use burstcap_qn::QnError;
+
+/// Populations where dense LU is still tractable; the last one is the
+/// "largest dense-feasible" point the summary reports.
+const DENSE_FEASIBLE_POPS: [usize; 5] = [10, 15, 20, 25, 30];
+/// Populations covered only by the sparse engine and the direct method.
+const SPARSE_POPS: [usize; 3] = [50, 75, 100];
+
+struct Record {
+    population: usize,
+    states: usize,
+    transitions: usize,
+    method: &'static str,
+    median_ms: f64,
+    throughput: f64,
+}
+
+fn median_ms(reps: usize, mut solve: impl FnMut() -> Result<MapQnSolution, QnError>) -> (f64, f64) {
+    let mut times: Vec<f64> = Vec::with_capacity(reps);
+    let mut throughput = 0.0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let sol = solve().expect("benchmark instance must solve");
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        throughput = sol.throughput;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (times[times.len() / 2], throughput)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let fast = std::env::var_os("BURSTCAP_BENCH_FAST").is_some_and(|v| v != "0");
+    let reps = if fast { 1 } else { 3 };
+
+    // Moderately bursty MAP(2) fits (converging regime for the sparse
+    // engine); the same shapes the ctmc_sparse bench uses.
+    let front = Map2Fitter::new(0.01, 8.0, 0.03)
+        .fit()
+        .expect("feasible")
+        .map();
+    let db = Map2Fitter::new(0.008, 12.0, 0.02)
+        .fit()
+        .expect("feasible")
+        .map();
+    let think = 0.3;
+
+    let mut records: Vec<Record> = Vec::new();
+    let mut push = |net: &MapNetwork, method: &'static str, median: f64, x: f64| {
+        records.push(Record {
+            population: net.population(),
+            states: net.state_count(),
+            transitions: net.outgoing_csr().expect("assembles").nnz(),
+            method,
+            median_ms: median,
+            throughput: x,
+        });
+    };
+
+    burstcap_bench::header("bench_baseline: dense LU vs sparse CSR engine");
+    let mut dense_at_largest = 0.0;
+    let mut sparse_at_largest = 0.0;
+    let mut agreement = 0.0;
+    for &pop in &DENSE_FEASIBLE_POPS {
+        let net = MapNetwork::new(pop, think, front, db).expect("valid network");
+        let (lu_ms, lu_x) = median_ms(reps, || {
+            net.solve_iterative(SteadyStateMethod::DenseLu { limit: 1_000_000 })
+        });
+        let (gs_ms, gs_x) = median_ms(reps, || net.solve_sparse());
+        push(&net, "dense_lu", lu_ms, lu_x);
+        push(&net, "sparse_gauss_seidel", gs_ms, gs_x);
+        println!(
+            "{}",
+            burstcap_bench::row(
+                &format!("pop {pop} ({} states)", net.state_count()),
+                &[
+                    format!("LU {lu_ms:.1} ms"),
+                    format!("GS {gs_ms:.1} ms"),
+                    format!("{:.1}x", lu_ms / gs_ms),
+                ],
+            )
+        );
+        if pop == *DENSE_FEASIBLE_POPS.last().expect("non-empty") {
+            dense_at_largest = lu_ms;
+            sparse_at_largest = gs_ms;
+            agreement = (lu_x - gs_x).abs() / lu_x;
+        }
+    }
+
+    burstcap_bench::header("bench_baseline: sparse engine beyond dense reach");
+    for &pop in &SPARSE_POPS {
+        let net = MapNetwork::new(pop, think, front, db).expect("valid network");
+        let (gs_ms, gs_x) = median_ms(reps, || net.solve_sparse());
+        let (direct_ms, direct_x) = median_ms(reps, || net.solve());
+        push(&net, "sparse_gauss_seidel", gs_ms, gs_x);
+        push(&net, "direct_level_reduction", direct_ms, direct_x);
+        println!(
+            "{}",
+            burstcap_bench::row(
+                &format!("pop {pop} ({} states)", net.state_count()),
+                &[
+                    format!("GS {gs_ms:.1} ms"),
+                    format!("direct {direct_ms:.1} ms"),
+                ],
+            )
+        );
+    }
+
+    let speedup = dense_at_largest / sparse_at_largest;
+    let largest = *DENSE_FEASIBLE_POPS.last().expect("non-empty");
+    let largest_states = MapNetwork::new(largest, think, front, db)
+        .expect("valid network")
+        .state_count();
+    println!(
+        "\nsparse vs dense LU at the largest dense-feasible point \
+         (pop {largest}, {largest_states} states): {speedup:.1}x, \
+         throughput agreement {agreement:.2e}"
+    );
+
+    // Hand-rolled JSON: the vendored serde shim has no serializer, and the
+    // schema is flat enough that formatting it directly stays readable.
+    let mut rows = String::new();
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        rows.push_str(&format!(
+            "    {{\"population\": {}, \"states\": {}, \"transitions\": {}, \
+             \"method\": \"{}\", \"median_ms\": {:.3}, \"throughput\": {:.6}}}{}\n",
+            r.population, r.states, r.transitions, r.method, r.median_ms, r.throughput, sep
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bench_baseline\",\n  \"seed\": {seed},\n  \
+         \"front_map\": {{\"mean\": 0.01, \"index_of_dispersion\": 8.0, \"p95\": 0.03}},\n  \
+         \"db_map\": {{\"mean\": 0.008, \"index_of_dispersion\": 12.0, \"p95\": 0.02}},\n  \
+         \"think_time\": {think},\n  \"repetitions\": {reps},\n  \
+         \"largest_dense_feasible\": {{\"population\": {largest}, \"states\": {largest_states}, \
+         \"dense_lu_ms\": {dense_at_largest:.3}, \"sparse_ms\": {sparse_at_largest:.3}, \
+         \"speedup\": {speedup:.2}, \"throughput_rel_gap\": {agreement:.3e}}},\n  \
+         \"results\": [\n{rows}  ]\n}}\n",
+        seed = burstcap_bench::BASE_SEED,
+    );
+    std::fs::write(&out_path, json).expect("write benchmark snapshot");
+    println!("wrote {out_path}");
+}

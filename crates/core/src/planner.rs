@@ -16,12 +16,52 @@
 use serde::{Deserialize, Serialize};
 
 use burstcap_map::fit::{FittedMap2, Map2Fitter};
-use burstcap_qn::mapqn::{MapNetwork, MapQnSolution};
+use burstcap_qn::mapqn::{MapNetwork, MapQnSolution, AUTO_SPARSE_THRESHOLD};
 use burstcap_qn::mva::ClosedMva;
 
 use crate::characterize::{characterize, CharacterizeOptions, ServiceCharacterization};
 use crate::measurements::TierMeasurements;
 use crate::PlanError;
+
+/// Which CTMC engine solves the what-if model (see
+/// [`burstcap_qn::mapqn::MapNetwork::solve_auto`] for the underlying
+/// trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SolverStrategy {
+    /// Direct level-reduction below the state-count threshold, sparse CSR
+    /// engine above it, with an automatic fallback to direct when the
+    /// iterative engine stalls on a stiff chain. The default, with the
+    /// measured crossover [`AUTO_SPARSE_THRESHOLD`] as threshold.
+    Auto {
+        /// State count above which the sparse engine is tried first.
+        sparse_above_states: usize,
+    },
+    /// Always the direct block level-reduction (`O(N^4)`, stiffness-proof).
+    Direct,
+    /// Always the sparse CSR engine (Gauss-Seidel; may legitimately fail
+    /// with a no-convergence error on nearly decomposable chains).
+    Sparse,
+}
+
+impl Default for SolverStrategy {
+    fn default() -> Self {
+        SolverStrategy::Auto {
+            sparse_above_states: AUTO_SPARSE_THRESHOLD,
+        }
+    }
+}
+
+impl SolverStrategy {
+    fn solve(self, net: &MapNetwork) -> Result<MapQnSolution, burstcap_qn::QnError> {
+        match self {
+            SolverStrategy::Auto {
+                sparse_above_states,
+            } => net.solve_auto(sparse_above_states),
+            SolverStrategy::Direct => net.solve(),
+            SolverStrategy::Sparse => net.solve_sparse(),
+        }
+    }
+}
 
 /// Planner configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,6 +70,8 @@ pub struct PlannerOptions {
     pub characterize: CharacterizeOptions,
     /// Relative tolerance on the fitted index of dispersion (paper: ±20%).
     pub i_tolerance: f64,
+    /// CTMC engine selection for the prediction solves.
+    pub solver: SolverStrategy,
 }
 
 impl Default for PlannerOptions {
@@ -37,6 +79,7 @@ impl Default for PlannerOptions {
         PlannerOptions {
             characterize: CharacterizeOptions::default(),
             i_tolerance: 0.2,
+            solver: SolverStrategy::default(),
         }
     }
 }
@@ -75,6 +118,7 @@ pub struct CapacityPlanner {
     db: ServiceCharacterization,
     front_fit: FittedMap2,
     db_fit: FittedMap2,
+    solver: SolverStrategy,
 }
 
 impl CapacityPlanner {
@@ -108,6 +152,7 @@ impl CapacityPlanner {
             db: db_char,
             front_fit,
             db_fit,
+            solver: options.solver,
         })
     }
 
@@ -128,6 +173,7 @@ impl CapacityPlanner {
             db,
             front_fit,
             db_fit,
+            solver: options.solver,
         })
     }
 
@@ -151,8 +197,16 @@ impl CapacityPlanner {
         &self.db_fit
     }
 
+    /// The solver strategy predictions will use.
+    pub fn solver_strategy(&self) -> SolverStrategy {
+        self.solver
+    }
+
     /// Predict performance at `population` customers with think time
-    /// `think_time` (the model's `Z_qn`).
+    /// `think_time` (the model's `Z_qn`). The CTMC engine is chosen by the
+    /// configured [`SolverStrategy`]: with the default `Auto` strategy,
+    /// large state spaces go to the sparse CSR engine and small (or stiff,
+    /// non-converging) ones to the direct level-reduction.
     ///
     /// # Errors
     /// Propagates model-solution failures.
@@ -163,7 +217,7 @@ impl CapacityPlanner {
             self.front_fit.map(),
             self.db_fit.map(),
         )?;
-        Ok((population, net.solve()?).into())
+        Ok((population, self.solver.solve(&net)?).into())
     }
 
     /// Predict a whole population sweep.
@@ -372,6 +426,35 @@ mod tests {
         assert_eq!(b.front_demand(), 0.01);
         let p = b.predict(100, 0.5).unwrap();
         assert!(p.throughput <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn solver_strategies_agree() {
+        // Direct, forced-sparse, and auto (on both sides of the threshold)
+        // must produce the same prediction for a moderately bursty model.
+        let front = steady(0.5, 250);
+        let db = bursty(250);
+        let mut options = PlannerOptions::default();
+        let mut predictions = Vec::new();
+        for solver in [
+            SolverStrategy::Direct,
+            SolverStrategy::Sparse,
+            SolverStrategy::Auto {
+                sparse_above_states: 0,
+            },
+            SolverStrategy::default(),
+        ] {
+            options.solver = solver;
+            let planner = CapacityPlanner::with_options(&front, &db, options).unwrap();
+            assert_eq!(planner.solver_strategy(), solver);
+            predictions.push(planner.predict(15, 0.5).unwrap().throughput);
+        }
+        for &x in &predictions[1..] {
+            assert!(
+                (x - predictions[0]).abs() / predictions[0] < 1e-7,
+                "strategies disagree: {predictions:?}"
+            );
+        }
     }
 
     #[test]

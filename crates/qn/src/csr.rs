@@ -1,0 +1,640 @@
+//! Compressed sparse row (CSR) matrices — the storage substrate of the
+//! sparse CTMC engine.
+//!
+//! CTMC generators of MAP queueing networks are overwhelmingly sparse: a
+//! state of the paper's MAP(2)×MAP(2) network (Section 4.2) has at most six
+//! outgoing transitions regardless of population, so a population-100 chain
+//! with ~20k states carries ~120k rates where a dense matrix would need
+//! 4×10⁸ entries. [`CsrMatrix`] stores exactly the non-zeros in three flat
+//! arrays (`row_ptr`/`col_idx`/`values`), giving the iterative solvers in
+//! [`crate::ctmc`] contiguous, cache-friendly row access with no per-row
+//! allocations.
+//!
+//! Two construction paths are provided:
+//!
+//! * [`CsrMatrix::from_triplets`] — order-insensitive, accumulates duplicate
+//!   coordinates; the general-purpose entry point;
+//! * [`CsrBuilder`] — streaming, for generators whose transitions are
+//!   emitted grouped by source state (as
+//!   [`crate::mapqn::MapNetwork`] does); assembles the CSR arrays directly
+//!   with no intermediate triplet list.
+//!
+//! # Example
+//!
+//! ```
+//! use burstcap_qn::csr::CsrMatrix;
+//!
+//! // The off-diagonal rate matrix of a two-state chain: 0 -> 1 at rate 2,
+//! // 1 -> 0 at rate 3.
+//! let q = CsrMatrix::from_triplets(2, [(0, 1, 2.0), (1, 0, 3.0)])?;
+//! assert_eq!(q.nnz(), 2);
+//! assert_eq!(q.row(0).collect::<Vec<_>>(), vec![(1, 2.0)]);
+//!
+//! // Transpose swaps incoming and outgoing adjacency.
+//! let qt = q.transpose();
+//! assert_eq!(qt.row(0).collect::<Vec<_>>(), vec![(1, 3.0)]);
+//!
+//! // Uniformization turns the rate matrix into a DTMC: P = I + Q/lambda.
+//! let p = q.uniformized(4.0)?;
+//! assert_eq!(p.row(0).collect::<Vec<_>>(), vec![(0, 0.5), (1, 0.5)]);
+//! # Ok::<(), burstcap_qn::QnError>(())
+//! ```
+
+use crate::QnError;
+
+/// A square sparse matrix in compressed sparse row format.
+///
+/// Rows are stored back to back: the entries of row `i` live at positions
+/// `row_ptr[i]..row_ptr[i + 1]` of the parallel `col_idx`/`values` arrays.
+/// Duplicate coordinates are permitted and act additively — every consumer
+/// (row iteration, products, transpose, uniformization) treats the matrix as
+/// the sum of its stored entries, which is exactly the semantics CTMC
+/// transition lists need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build an `n × n` matrix from `(row, col, value)` triplets in any
+    /// order. Duplicate coordinates accumulate; exact zeros are dropped.
+    ///
+    /// # Errors
+    /// Rejects `n == 0`, out-of-range indices, and non-finite values.
+    ///
+    /// # Example
+    /// ```
+    /// use burstcap_qn::csr::CsrMatrix;
+    /// let m = CsrMatrix::from_triplets(3, [(2, 0, 1.0), (0, 1, 2.0), (2, 0, 0.5)])?;
+    /// assert_eq!(m.nnz(), 2); // the two (2, 0) entries merged
+    /// assert_eq!(m.row(2).collect::<Vec<_>>(), vec![(0, 1.5)]);
+    /// # Ok::<(), burstcap_qn::QnError>(())
+    /// ```
+    pub fn from_triplets(
+        n: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self, QnError> {
+        if n == 0 {
+            return Err(QnError::InvalidParameter {
+                name: "n",
+                reason: "matrix must have at least one row".into(),
+            });
+        }
+        let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+        for (row, col, value) in triplets {
+            if row >= n || col >= n {
+                return Err(QnError::InvalidParameter {
+                    name: "triplets",
+                    reason: format!("index out of range: ({row}, {col}) in {n}x{n}"),
+                });
+            }
+            if !value.is_finite() {
+                return Err(QnError::InvalidParameter {
+                    name: "triplets",
+                    reason: format!("value at ({row}, {col}) must be finite, got {value}"),
+                });
+            }
+            if value != 0.0 {
+                entries.push((row, col, value));
+            }
+        }
+        // Counting sort by row, then order and merge within each row.
+        let mut counts = vec![0usize; n + 1];
+        for &(row, _, _) in &entries {
+            counts[row + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut slots = counts.clone();
+        let nnz_upper = entries.len();
+        let mut col_idx = vec![0usize; nnz_upper];
+        let mut values = vec![0.0f64; nnz_upper];
+        for &(row, col, value) in &entries {
+            let at = slots[row];
+            col_idx[at] = col;
+            values[at] = value;
+            slots[row] += 1;
+        }
+        // Merge duplicates row by row, compacting in place.
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut write = 0usize;
+        for row in 0..n {
+            let (start, end) = (counts[row], counts[row + 1]);
+            let mut pairs: Vec<(usize, f64)> = col_idx[start..end]
+                .iter()
+                .copied()
+                .zip(values[start..end].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(c, _)| c);
+            row_ptr[row] = write;
+            for (col, value) in pairs {
+                if write > row_ptr[row] && col_idx[write - 1] == col {
+                    values[write - 1] += value;
+                } else {
+                    col_idx[write] = col;
+                    values[write] = value;
+                    write += 1;
+                }
+            }
+        }
+        row_ptr[n] = write;
+        col_idx.truncate(write);
+        values.truncate(write);
+        Ok(CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Start a streaming row-grouped builder (see [`CsrBuilder`]).
+    pub fn builder(n: usize) -> CsrBuilder {
+        CsrBuilder {
+            n,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension (the matrix is `n × n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate the stored `(col, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.n()`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (cols, vals) = self.row_slices(i);
+        cols.iter().copied().zip(vals.iter().copied())
+    }
+
+    /// The column-index and value slices of row `i` (parallel arrays).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.n()`.
+    pub fn row_slices(&self, i: usize) -> (&[usize], &[f64]) {
+        let (start, end) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[start..end], &self.values[start..end])
+    }
+
+    /// Iterate every stored entry as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| self.row(i).map(move |(j, v)| (i, j, v)))
+    }
+
+    /// The transpose, computed in `O(n + nnz)` by counting sort. Within each
+    /// output row, entries appear in increasing column order (and duplicates
+    /// are preserved, not merged).
+    pub fn transpose(&self) -> CsrMatrix {
+        let n = self.n;
+        let mut row_ptr = vec![0usize; n + 1];
+        for &col in &self.col_idx {
+            row_ptr[col + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut slots = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for row in 0..n {
+            let (cols, vals) = self.row_slices(row);
+            for (&col, &value) in cols.iter().zip(vals) {
+                let at = slots[col];
+                col_idx[at] = row;
+                values[at] = value;
+                slots[col] += 1;
+            }
+        }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Merge runs of entries sharing a column within each row (summing
+    /// their values). Complete deduplication when every row's columns are
+    /// sorted — as [`CsrMatrix::transpose`] guarantees — which is how the
+    /// CTMC constructors keep duplicate transitions additive *and* counted
+    /// once regardless of assembly path.
+    pub(crate) fn merge_adjacent_duplicates(mut self) -> CsrMatrix {
+        let mut write = 0usize;
+        let mut row_start = vec![0usize; self.n + 1];
+        for row in 0..self.n {
+            let (start, end) = (self.row_ptr[row], self.row_ptr[row + 1]);
+            row_start[row] = write;
+            for read in start..end {
+                if write > row_start[row] && self.col_idx[write - 1] == self.col_idx[read] {
+                    self.values[write - 1] += self.values[read];
+                } else {
+                    self.col_idx[write] = self.col_idx[read];
+                    self.values[write] = self.values[read];
+                    write += 1;
+                }
+            }
+        }
+        row_start[self.n] = write;
+        self.row_ptr = row_start;
+        self.col_idx.truncate(write);
+        self.values.truncate(write);
+        self
+    }
+
+    /// Per-row sums — the state exit rates when `self` is the off-diagonal
+    /// rate matrix of a CTMC.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| self.row_slices(i).1.iter().sum())
+            .collect()
+    }
+
+    /// Uniformize an off-diagonal rate matrix into the DTMC of the embedded
+    /// uniformized chain: `P = I + Q / lambda` with
+    /// `q_ii = -` (row sum of `self`), so `p_ij = q_ij / lambda` off the
+    /// diagonal and `p_ii = 1 - out_rate_i / lambda`. Sub-rate diagonal
+    /// entries that underflow to exact zero are stored anyway so every row of
+    /// the result is explicitly stochastic.
+    ///
+    /// Rows with sorted columns (the [`CsrMatrix::from_triplets`] invariant)
+    /// produce canonical sorted output; unsorted or duplicated input still
+    /// yields a semantically correct stochastic matrix, but the diagonal
+    /// mass may be split across entries (duplicates act additively
+    /// everywhere in this module).
+    ///
+    /// # Errors
+    /// Rejects non-positive or non-finite `lambda` and `lambda` below the
+    /// largest row sum (the result would have negative diagonal mass).
+    ///
+    /// # Example
+    /// ```
+    /// use burstcap_qn::csr::CsrMatrix;
+    /// let q = CsrMatrix::from_triplets(2, [(0, 1, 1.0), (1, 0, 3.0)])?;
+    /// let p = q.uniformized(4.0)?;
+    /// // Row 0: stays with probability 0.75, jumps with 0.25.
+    /// assert_eq!(p.row(0).collect::<Vec<_>>(), vec![(0, 0.75), (1, 0.25)]);
+    /// let sums = p.row_sums();
+    /// assert!(sums.iter().all(|&s| (s - 1.0).abs() < 1e-12));
+    /// # Ok::<(), burstcap_qn::QnError>(())
+    /// ```
+    pub fn uniformized(&self, lambda: f64) -> Result<CsrMatrix, QnError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(QnError::InvalidParameter {
+                name: "lambda",
+                reason: format!("uniformization rate must be positive and finite, got {lambda}"),
+            });
+        }
+        let out = self.row_sums();
+        if let Some(max) = out.iter().cloned().reduce(f64::max) {
+            if max > lambda {
+                return Err(QnError::InvalidParameter {
+                    name: "lambda",
+                    reason: format!(
+                        "uniformization rate {lambda} is below the largest exit rate {max}"
+                    ),
+                });
+            }
+        }
+        let n = self.n;
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz() + n);
+        let mut values = Vec::with_capacity(self.nnz() + n);
+        for i in 0..n {
+            let (cols, vals) = self.row_slices(i);
+            let mut wrote_diag = false;
+            for (&col, &value) in cols.iter().zip(vals) {
+                if !wrote_diag && col >= i {
+                    // Insert the diagonal in column order (merging if the
+                    // input carried an explicit (i, i) entry).
+                    if col == i {
+                        col_idx.push(i);
+                        values.push(1.0 - out[i] / lambda + value / lambda);
+                    } else {
+                        col_idx.push(i);
+                        values.push(1.0 - out[i] / lambda);
+                        col_idx.push(col);
+                        values.push(value / lambda);
+                    }
+                    wrote_diag = true;
+                } else {
+                    col_idx.push(col);
+                    values.push(value / lambda);
+                }
+            }
+            if !wrote_diag {
+                col_idx.push(i);
+                values.push(1.0 - out[i] / lambda);
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        Ok(CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Matrix–vector product `y = A x` (row-major gather).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.n()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch in mul_vec");
+        (0..self.n)
+            .map(|i| self.row(i).map(|(j, v)| v * x[j]).sum())
+            .collect()
+    }
+
+    /// Vector–matrix product `y = x A` (row-major scatter) — the update
+    /// direction of power iteration on a stochastic matrix stored row-wise.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.n()`.
+    pub fn left_mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch in left_mul_vec");
+        let mut y = vec![0.0; self.n];
+        for (i, &w) in x.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row_slices(i);
+            for (&col, &value) in cols.iter().zip(vals) {
+                y[col] += w * value;
+            }
+        }
+        y
+    }
+}
+
+/// Streaming CSR assembly for entries grouped by row.
+///
+/// [`push`](CsrBuilder::push) accepts entries whose row indices never
+/// decrease; the CSR arrays are written directly with no intermediate
+/// triplet list or sort — the fast path used by
+/// [`crate::mapqn::MapNetwork`], whose state enumeration emits transitions
+/// in flat-index order. Duplicate `(row, col)` pairs are kept as separate
+/// entries (which all consumers treat additively).
+///
+/// # Example
+/// ```
+/// use burstcap_qn::csr::CsrMatrix;
+/// let mut b = CsrMatrix::builder(3);
+/// b.push(0, 1, 2.0)?;
+/// b.push(0, 2, 1.0)?;
+/// b.push(2, 0, 4.0)?; // row 1 is empty; rows may only move forward
+/// let m = b.finish();
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.row(1).count(), 0);
+/// # Ok::<(), burstcap_qn::QnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// Append an entry. Rows must arrive in non-decreasing order; exact
+    /// zeros are dropped.
+    ///
+    /// # Errors
+    /// Rejects out-of-range indices, non-finite values, and a `row` smaller
+    /// than the last pushed row.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), QnError> {
+        if row >= self.n || col >= self.n {
+            return Err(QnError::InvalidParameter {
+                name: "entry",
+                reason: format!("index out of range: ({row}, {col}) in {n}x{n}", n = self.n),
+            });
+        }
+        if !value.is_finite() {
+            return Err(QnError::InvalidParameter {
+                name: "entry",
+                reason: format!("value at ({row}, {col}) must be finite, got {value}"),
+            });
+        }
+        let current = self.row_ptr.len() - 1;
+        if row < current {
+            return Err(QnError::InvalidParameter {
+                name: "entry",
+                reason: format!("row {row} pushed after row {current}: rows must not decrease"),
+            });
+        }
+        while self.row_ptr.len() <= row {
+            self.row_ptr.push(self.col_idx.len());
+        }
+        if value != 0.0 {
+            self.col_idx.push(col);
+            self.values.push(value);
+        }
+        Ok(())
+    }
+
+    /// Reserve capacity for `additional` further entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.col_idx.reserve(additional);
+        self.values.reserve(additional);
+    }
+
+    /// Number of entries pushed so far.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Close any trailing empty rows and return the finished matrix.
+    pub fn finish(mut self) -> CsrMatrix {
+        while self.row_ptr.len() <= self.n {
+            self.row_ptr.push(self.col_idx.len());
+        }
+        CsrMatrix {
+            n: self.n,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(m: &CsrMatrix) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; m.n()]; m.n()];
+        for (i, j, v) in m.iter() {
+            d[i][j] += v;
+        }
+        d
+    }
+
+    #[test]
+    fn triplets_sort_and_merge() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            [
+                (2, 1, 1.0),
+                (0, 2, 3.0),
+                (0, 1, 2.0),
+                (2, 1, 0.5),
+                (1, 0, 4.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(1, 2.0), (2, 3.0)]);
+        assert_eq!(m.row(2).collect::<Vec<_>>(), vec![(1, 1.5)]);
+    }
+
+    #[test]
+    fn triplets_drop_zeros() {
+        let m = CsrMatrix::from_triplets(2, [(0, 1, 0.0), (1, 0, 1.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn triplets_validation() {
+        assert!(CsrMatrix::from_triplets(0, []).is_err());
+        assert!(CsrMatrix::from_triplets(2, [(0, 2, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, [(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, [(0, 1, f64::NAN)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, [(0, 1, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn builder_matches_triplets() {
+        let triplets = [(0, 1, 2.0), (0, 2, 3.0), (1, 0, 4.0), (2, 1, 1.0)];
+        let a = CsrMatrix::from_triplets(3, triplets).unwrap();
+        let mut b = CsrMatrix::builder(3);
+        for (i, j, v) in triplets {
+            b.push(i, j, v).unwrap();
+        }
+        assert_eq!(b.nnz(), 4);
+        assert_eq!(a, b.finish());
+    }
+
+    #[test]
+    fn builder_skips_rows_and_rejects_backwards() {
+        let mut b = CsrMatrix::builder(4);
+        b.push(1, 0, 1.0).unwrap();
+        b.push(3, 2, 2.0).unwrap();
+        assert!(b.push(2, 0, 1.0).is_err(), "row went backwards");
+        assert!(b.push(1, 4, 1.0).is_err(), "column out of range");
+        assert!(b.push(4, 0, 1.0).is_err(), "row out of range");
+        assert!(b.push(3, 0, f64::NAN).is_err(), "non-finite value");
+        let m = b.finish();
+        assert_eq!(m.row(0).count(), 0);
+        assert_eq!(m.row(1).collect::<Vec<_>>(), vec![(0, 1.0)]);
+        assert_eq!(m.row(2).count(), 0);
+        assert_eq!(m.row(3).collect::<Vec<_>>(), vec![(2, 2.0)]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_triplets(
+            4,
+            [
+                (0, 1, 2.0),
+                (1, 3, 3.0),
+                (2, 0, 4.0),
+                (3, 2, 5.0),
+                (3, 0, 6.0),
+            ],
+        )
+        .unwrap();
+        let t = m.transpose();
+        assert_eq!(t.nnz(), m.nnz());
+        let (d, dt) = (dense(&m), dense(&t));
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(d[i][j], dt[j][i]);
+            }
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn merge_adjacent_duplicates_compacts_sorted_rows() {
+        let mut b = CsrMatrix::builder(3);
+        b.push(0, 1, 1.0).unwrap();
+        b.push(0, 1, 2.0).unwrap();
+        b.push(0, 2, 3.0).unwrap();
+        b.push(2, 0, 4.0).unwrap();
+        b.push(2, 0, 0.5).unwrap();
+        let m = b.finish().merge_adjacent_duplicates();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(1, 3.0), (2, 3.0)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).collect::<Vec<_>>(), vec![(0, 4.5)]);
+    }
+
+    #[test]
+    fn row_sums_and_products() {
+        let m = CsrMatrix::from_triplets(3, [(0, 1, 2.0), (0, 2, 1.0), (1, 0, 3.0)]).unwrap();
+        assert_eq!(m.row_sums(), vec![3.0, 3.0, 0.0]);
+        let y = m.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0 * 2.0 + 3.0, 3.0, 0.0]);
+        let z = m.left_mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(z, vec![6.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn uniformized_is_stochastic() {
+        let q = CsrMatrix::from_triplets(3, [(0, 1, 2.0), (1, 0, 1.0), (1, 2, 1.5), (2, 1, 4.0)])
+            .unwrap();
+        let p = q.uniformized(5.0).unwrap();
+        for s in p.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12, "row sum {s}");
+        }
+        // Diagonal entries sit in column order within their rows.
+        assert_eq!(
+            p.row(1).collect::<Vec<_>>(),
+            vec![(0, 0.2), (1, 0.5), (2, 0.3)]
+        );
+        // lambda below the fastest exit rate is rejected, as are bad lambdas.
+        assert!(q.uniformized(2.0).is_err());
+        assert!(q.uniformized(0.0).is_err());
+        assert!(q.uniformized(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn uniformized_merges_explicit_diagonal() {
+        // An input that already carries an (i, i) entry folds it into the
+        // uniformized diagonal.
+        let q = CsrMatrix::from_triplets(2, [(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let p = q.uniformized(4.0).unwrap();
+        // out[0] = 2.0 (row sum includes the diagonal), so
+        // p_00 = 1 - 2/4 + 1/4 = 0.75.
+        assert_eq!(p.row(0).collect::<Vec<_>>(), vec![(0, 0.75), (1, 0.25)]);
+    }
+
+    #[test]
+    fn empty_rows_everywhere() {
+        let m = CsrMatrix::from_triplets(3, []).unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.transpose().nnz(), 0);
+        assert_eq!(m.row_sums(), vec![0.0; 3]);
+        let p = m.uniformized(1.0).unwrap();
+        // Uniformizing the zero generator yields the identity.
+        for i in 0..3 {
+            assert_eq!(p.row(i).collect::<Vec<_>>(), vec![(i, 1.0)]);
+        }
+    }
+}

@@ -9,7 +9,8 @@
 //! * [`mapqn`] — the paper's model (Section 4): a closed network of two
 //!   queues with **MAP(2) service processes** and an exponential think stage,
 //!   solved *exactly* by building the underlying CTMC and computing its
-//!   stationary distribution with the sparse solvers in [`ctmc`].
+//!   stationary distribution with the sparse solvers in [`ctmc`], which run
+//!   on the compressed-sparse-row substrate in [`csr`].
 //!
 //! # Example: MVA vs the MAP-aware model
 //!
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod csr;
 pub mod ctmc;
 mod error;
 pub mod mapqn;

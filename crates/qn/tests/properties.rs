@@ -39,6 +39,53 @@ proptest! {
         }
     }
 
+    /// The sparse engine agrees with the dense LU oracle to 1e-8 per state
+    /// on random ergodic chains: both members of the
+    /// `SteadyStateMethod::Sparse` family (under-relaxed Gauss-Seidel and
+    /// uniformized power iteration) against exact elimination.
+    #[test]
+    fn sparse_family_matches_dense_lu_on_random_ergodic_chains(
+        ring in prop::collection::vec(0.2f64..5.0, 3..18),
+        extra in prop::collection::vec((0usize..18, 0usize..18, 0.1f64..4.0), 0..40),
+    ) {
+        let n = ring.len();
+        // A directed ring guarantees irreducibility; the extra edges give
+        // the chain an arbitrary sparse topology.
+        let mut tr: Vec<(usize, usize, f64)> = ring
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i, (i + 1) % n, r))
+            .collect();
+        for &(a, b, r) in &extra {
+            let (from, to) = (a % n, b % n);
+            if from != to {
+                tr.push((from, to, r));
+            }
+        }
+        let chain = Ctmc::from_transitions(n, tr).unwrap();
+        let lu = chain.steady_state(SteadyStateMethod::DenseLu { limit: 100 }).unwrap();
+        let gs = chain
+            .steady_state(SteadyStateMethod::gauss_seidel(0.95, 1e-12, 500_000))
+            .unwrap();
+        let pw = chain
+            .steady_state(SteadyStateMethod::power(1e-13, 5_000_000))
+            .unwrap();
+        for i in 0..n {
+            prop_assert!(
+                (gs[i] - lu[i]).abs() < 1e-8,
+                "gauss-seidel vs LU at state {i}: {} vs {}",
+                gs[i],
+                lu[i]
+            );
+            prop_assert!(
+                (pw[i] - lu[i]).abs() < 1e-8,
+                "power vs LU at state {i}: {} vs {}",
+                pw[i],
+                lu[i]
+            );
+        }
+    }
+
     /// MVA response time is monotone in population (more customers, more
     /// queueing) and utilization stays in [0, 1].
     #[test]

@@ -163,7 +163,7 @@ pub mod collection {
     use super::{SmallRng, Strategy};
     use std::ops::Range;
 
-    /// Strategy producing `Vec`s of an element strategy (see [`vec`]).
+    /// Strategy producing `Vec`s of an element strategy (see [`vec()`]).
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
