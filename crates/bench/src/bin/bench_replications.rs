@@ -1,0 +1,242 @@
+//! Replication-harness snapshot: runs the mix × population × contention
+//! scenario grid through the multi-replication experiment harness twice —
+//! once as a serial fold, once fanned across worker threads — verifies the
+//! aggregates are **bit-identical**, and writes a `BENCH_replications.json`
+//! record with the CI-bearing statistics and the serial/parallel
+//! wall-clock.
+//!
+//! Usage: `cargo run --release -p burstcap-bench --bin bench_replications
+//! [output.json]` (default output `BENCH_replications.json` in the current
+//! directory).
+//!
+//! Environment knobs:
+//!
+//! * `BURSTCAP_BENCH_FAST=1` — smoke mode: fewer replications, shorter
+//!   runs, a reduced grid (what CI uses);
+//! * `BURSTCAP_REPLICATION_WORKERS=n` — parallel worker count (default 4).
+//!
+//! The scenario metadata and aggregate statistics in the JSON are fully
+//! deterministic (CI diffs them across two runs); the `*_ms`, `speedup`
+//! and `parallelism` fields are wall-clock snapshots of one machine and
+//! are excluded from that diff.
+
+use std::time::Instant;
+
+use burstcap::experiment::Replications;
+use burstcap_bench::BASE_SEED;
+use burstcap_stats::ci::mean_ci;
+use burstcap_tpcw::contention::ContentionConfig;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::TestbedRun;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+struct Scenario {
+    mix: Mix,
+    ebs: usize,
+    contention: &'static str,
+}
+
+struct Row {
+    mix: &'static str,
+    ebs: usize,
+    contention: &'static str,
+    replications: usize,
+    throughput_mean: f64,
+    throughput_half_width: f64,
+    response_mean: f64,
+    util_db_mean: f64,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+fn mix_name(mix: Mix) -> &'static str {
+    match mix {
+        Mix::Browsing => "browsing",
+        Mix::Shopping => "shopping",
+        Mix::Ordering => "ordering",
+    }
+}
+
+fn contention_config(name: &str) -> ContentionConfig {
+    match name {
+        "none" => ContentionConfig::disabled(),
+        "heavy" => ContentionConfig {
+            trigger_probability: 0.2,
+            slowdown: 9.0,
+            ..ContentionConfig::default()
+        },
+        _ => ContentionConfig::default(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_replications.json".to_string());
+    let fast = std::env::var_os("BURSTCAP_BENCH_FAST").is_some_and(|v| v != "0");
+    let workers: usize = std::env::var("BURSTCAP_REPLICATION_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(2);
+    let (replications, duration) = if fast { (4, 120.0) } else { (8, 300.0) };
+
+    let mixes: &[Mix] = if fast {
+        &[Mix::Browsing, Mix::Ordering]
+    } else {
+        &[Mix::Browsing, Mix::Shopping, Mix::Ordering]
+    };
+    let populations: &[usize] = if fast { &[25] } else { &[25, 75] };
+    let contentions: &[&'static str] = if fast {
+        &["default"]
+    } else {
+        &["default", "heavy"]
+    };
+
+    let mut scenarios = Vec::new();
+    for &mix in mixes {
+        for &ebs in populations {
+            for &contention in contentions {
+                scenarios.push(Scenario {
+                    mix,
+                    ebs,
+                    contention,
+                });
+            }
+        }
+    }
+
+    burstcap_bench::header(&format!(
+        "bench_replications: {} scenarios x {replications} replications, \
+         serial fold vs {workers} workers",
+        scenarios.len()
+    ));
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut serial_total = 0.0;
+    let mut parallel_total = 0.0;
+    for sc in &scenarios {
+        let testbed = Testbed::new(
+            TestbedConfig::new(sc.mix, sc.ebs)
+                .duration(duration)
+                .seed(BASE_SEED)
+                .contention(contention_config(sc.contention)),
+        )
+        .expect("valid scenario configuration");
+
+        // Serial fold: the tpcw batch entry point.
+        let t0 = Instant::now();
+        let serial = testbed
+            .replications(replications)
+            .expect("serial replications run");
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Parallel fan over the identical replication list.
+        let t0 = Instant::now();
+        let parallel = Replications::new(replications)
+            .expect("valid plan")
+            .workers(workers)
+            .run(|rep| testbed.replication(rep.index))
+            .expect("parallel replications run");
+        let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Hard correctness gate: the parallel aggregate must be
+        // bit-identical to the serial one.
+        let agg = |runs: &[TestbedRun], f: fn(&TestbedRun) -> f64| {
+            let values: Vec<f64> = runs.iter().map(f).collect();
+            mean_ci(&values, 0.95).expect("two or more replications")
+        };
+        let x_serial = agg(&serial, |r| r.throughput);
+        let x_parallel = agg(&parallel, |r| r.throughput);
+        assert_eq!(
+            x_serial.mean.to_bits(),
+            x_parallel.mean.to_bits(),
+            "parallel aggregate diverged from serial"
+        );
+        assert_eq!(
+            x_serial.half_width.to_bits(),
+            x_parallel.half_width.to_bits()
+        );
+
+        let r_mean = agg(&serial, |r| r.response_mean).mean;
+        let u_db = agg(&serial, |r| {
+            r.db_util.iter().sum::<f64>() / r.db_util.len() as f64
+        })
+        .mean;
+
+        println!(
+            "{}",
+            burstcap_bench::row(
+                &format!("{} ebs {} {}", mix_name(sc.mix), sc.ebs, sc.contention),
+                &[
+                    format!("X {:.1}±{:.1}", x_serial.mean, x_serial.half_width),
+                    format!("serial {serial_ms:.0} ms"),
+                    format!("par {parallel_ms:.0} ms"),
+                    format!("{:.2}x", serial_ms / parallel_ms),
+                ],
+            )
+        );
+
+        serial_total += serial_ms;
+        parallel_total += parallel_ms;
+        rows.push(Row {
+            mix: mix_name(sc.mix),
+            ebs: sc.ebs,
+            contention: sc.contention,
+            replications,
+            throughput_mean: x_serial.mean,
+            throughput_half_width: x_serial.half_width,
+            response_mean: r_mean,
+            util_db_mean: u_db,
+            serial_ms,
+            parallel_ms,
+        });
+    }
+
+    let speedup = serial_total / parallel_total;
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nsweep wall-clock: serial {serial_total:.0} ms, parallel {parallel_total:.0} ms \
+         ({speedup:.2}x at {workers} workers on {parallelism} hardware threads); \
+         aggregates bit-identical"
+    );
+
+    // Hand-rolled JSON (the vendored serde shim has no serializer). The
+    // deterministic scenario/aggregate fields and the wall-clock fields
+    // live on separate lines so CI can diff the former across runs.
+    let mut body = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"mix\": \"{}\", \"ebs\": {}, \"contention\": \"{}\", \
+             \"replications\": {}, \"throughput_mean\": {:.9}, \
+             \"throughput_half_width\": {:.9}, \"response_mean\": {:.9}, \
+             \"util_db_mean\": {:.9},\n     \
+             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}}}{}\n",
+            r.mix,
+            r.ebs,
+            r.contention,
+            r.replications,
+            r.throughput_mean,
+            r.throughput_half_width,
+            r.response_mean,
+            r.util_db_mean,
+            r.serial_ms,
+            r.parallel_ms,
+            sep
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bench_replications\",\n  \"master_seed\": {BASE_SEED},\n  \
+         \"duration_seconds\": {duration},\n  \"confidence_level\": 0.95,\n  \
+         \"aggregates_bit_identical\": true,\n  \"workers\": {workers},\n  \
+         \"parallelism\": {parallelism},\n  \
+         \"serial_total_ms\": {serial_total:.3},\n  \
+         \"parallel_total_ms\": {parallel_total:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \"scenarios\": [\n{body}  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write replication snapshot");
+    println!("wrote {out_path}");
+}

@@ -20,6 +20,12 @@ pub enum PlanError {
     Fitting(MapError),
     /// The analytic model could not be solved.
     Solving(QnError),
+    /// The replication harness was misconfigured (zero replications, zero
+    /// workers, ...).
+    InvalidExperiment {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -31,6 +37,9 @@ impl fmt::Display for PlanError {
             PlanError::Estimation(e) => write!(f, "estimation failed: {e}"),
             PlanError::Fitting(e) => write!(f, "MAP fitting failed: {e}"),
             PlanError::Solving(e) => write!(f, "model solution failed: {e}"),
+            PlanError::InvalidExperiment { reason } => {
+                write!(f, "invalid experiment: {reason}")
+            }
         }
     }
 }
@@ -38,7 +47,7 @@ impl fmt::Display for PlanError {
 impl Error for PlanError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            PlanError::InvalidMeasurements { .. } => None,
+            PlanError::InvalidMeasurements { .. } | PlanError::InvalidExperiment { .. } => None,
             PlanError::Estimation(e) => Some(e),
             PlanError::Fitting(e) => Some(e),
             PlanError::Solving(e) => Some(e),

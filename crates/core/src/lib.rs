@@ -21,6 +21,11 @@
 //!    classical MVA baseline for comparison; [`report`] tabulates
 //!    model-versus-measured accuracy.
 //!
+//! Validation runs go through [`experiment`]: R independent replications of
+//! any scenario, fanned across scoped worker threads with per-replication
+//! RNG streams (`burstcap_sim::seeds`) and aggregated into Student-t
+//! confidence intervals instead of point estimates.
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +46,7 @@
 
 pub mod characterize;
 mod error;
+pub mod experiment;
 pub mod measurements;
 pub mod planner;
 pub mod report;

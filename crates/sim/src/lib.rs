@@ -15,7 +15,9 @@
 //!   front/database CPUs of the testbed simulator);
 //! * [`queues`] — canned models: the open **M/Trace/1** queue of Table 1 and
 //!   the closed **MAP queueing network** of Figure 9 (delay → front → DB),
-//!   simulated exactly for cross-validation of the analytic solver.
+//!   simulated exactly for cross-validation of the analytic solver;
+//! * [`seeds`] — SplitMix64 seed derivation giving every simulator and
+//!   every replication its own decorrelated RNG stream.
 //!
 //! # Example: Table 1's queue in three lines
 //!
@@ -36,6 +38,7 @@ pub mod engine;
 mod error;
 pub mod measure;
 pub mod queues;
+pub mod seeds;
 pub mod station;
 
 pub use error::SimError;

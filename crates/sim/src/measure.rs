@@ -206,12 +206,35 @@ impl ResponseTally {
     /// # Errors
     /// Fails when no observation was recorded.
     pub fn mean(&self) -> Result<f64, SimError> {
-        if self.stats.count() == 0 {
-            return Err(SimError::NoObservations {
-                what: "response times",
-            });
-        }
-        Ok(self.stats.mean())
+        self.stats.mean().ok_or(SimError::NoObservations {
+            what: "response times",
+        })
+    }
+
+    /// Population variance of the recorded response times.
+    ///
+    /// The degenerate case is explicit: with fewer than two observations
+    /// there is no dispersion information, and the old behaviour of the
+    /// underlying accumulator — silently reporting `0.0` — made an
+    /// under-sampled run look perfectly deterministic.
+    ///
+    /// # Errors
+    /// Fails when fewer than two observations were recorded.
+    pub fn variance(&self) -> Result<f64, SimError> {
+        self.stats.variance().ok_or(SimError::NoObservations {
+            what: "response-time variance (needs two observations)",
+        })
+    }
+
+    /// Squared coefficient of variation of the recorded response times.
+    ///
+    /// # Errors
+    /// Fails when fewer than two observations were recorded or the mean is
+    /// zero (SCV undefined).
+    pub fn scv(&self) -> Result<f64, SimError> {
+        self.stats.scv().ok_or(SimError::NoObservations {
+            what: "response-time scv (needs two observations and a non-zero mean)",
+        })
     }
 
     /// Percentile of the recorded responses (e.g. `0.95`).
@@ -321,6 +344,9 @@ mod tests {
         assert_eq!(t.count(), 4);
         assert!((t.mean().unwrap() - 2.5).abs() < 1e-12);
         assert!(t.percentile(0.95).unwrap() > 3.0);
+        // Var([1..4]) population convention = 1.25; SCV = 1.25 / 2.5^2.
+        assert!((t.variance().unwrap() - 1.25).abs() < 1e-12);
+        assert!((t.scv().unwrap() - 0.2).abs() < 1e-12);
     }
 
     #[test]
@@ -328,6 +354,19 @@ mod tests {
         let t = ResponseTally::new();
         assert!(t.mean().is_err());
         assert!(t.percentile(0.5).is_err());
+        assert!(t.variance().is_err());
+        assert!(t.scv().is_err());
+    }
+
+    #[test]
+    fn single_observation_has_no_variance() {
+        // The degenerate case must be an error, not a silent 0.0 that makes
+        // a one-sample run look deterministic.
+        let mut t = ResponseTally::new();
+        t.record(3.5);
+        assert!(t.mean().is_ok());
+        assert!(t.variance().is_err());
+        assert!(t.scv().is_err());
     }
 
     #[test]

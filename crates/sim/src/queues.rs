@@ -20,6 +20,7 @@ use burstcap_map::Map2;
 
 use crate::engine::EventQueue;
 use crate::measure::ResponseTally;
+use crate::seeds;
 use crate::SimError;
 
 /// The M/Trace/1 queue of the paper's Table 1.
@@ -54,7 +55,9 @@ impl MTrace1Result {
         self.response_p95
     }
 
-    /// Long-run fraction of time the server was busy.
+    /// Fraction of time the server was busy over the observation horizon
+    /// (the arrival interval `[0, a_n]`), reported raw: an overloaded trace
+    /// approaches 1 from below, it is never clamped there.
     pub fn utilization(&self) -> f64 {
         self.utilization
     }
@@ -66,17 +69,19 @@ impl MTrace1Result {
 }
 
 impl MTrace1 {
-    /// Create the queue with target utilization `rho` and an ordered
-    /// service-time trace.
+    /// Create the queue with offered load `rho` and an ordered service-time
+    /// trace. `rho >= 1` is accepted: the run is transient (all trace jobs
+    /// are still served), which is exactly what overload regression tests
+    /// need — see [`MTrace1Result::utilization`].
     ///
     /// # Errors
-    /// Rejects `rho` outside `(0, 1)`, empty traces, and traces with
-    /// non-positive mean or negative entries.
+    /// Rejects non-positive or non-finite `rho`, empty traces, and traces
+    /// with non-positive mean or negative entries.
     pub fn new(rho: f64, trace: Vec<f64>) -> Result<Self, SimError> {
-        if !(0.0 < rho && rho < 1.0) {
+        if !(rho > 0.0 && rho.is_finite()) {
             return Err(SimError::InvalidParameter {
                 name: "rho",
-                reason: format!("must lie in (0, 1), got {rho}"),
+                reason: format!("must be positive and finite, got {rho}"),
             });
         }
         if trace.is_empty() {
@@ -104,30 +109,55 @@ impl MTrace1 {
     /// Run the queue to completion (all trace jobs served) via Lindley
     /// recursion and summarize response times.
     ///
+    /// The RNG stream is derived from `seed` via
+    /// [`seeds::derive`] with [`seeds::MTRACE1_STREAM`], so a run with seed
+    /// `s` never shares a stream with another simulator run with the same
+    /// `s`.
+    ///
+    /// Utilization is the busy fraction over the **observation horizon**
+    /// `[0, a_n]` (the interval across which the arrival process is
+    /// observed), not over the post-drain makespan, and is reported raw:
+    /// the old `(busy / last_departure).min(1.0)` both diluted bursty runs
+    /// with their drain tail (during which the server is trivially 100%
+    /// busy) and clamped away any evidence of overload.
+    ///
     /// # Errors
     /// Never fails for a validated queue; the `Result` mirrors the
     /// fallibility of response summarization.
     pub fn run(&self, seed: u64) -> Result<MTrace1Result, SimError> {
         let mean_service = self.trace.iter().sum::<f64>() / self.trace.len() as f64;
         let lambda = self.rho / mean_service;
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seeds::derive(seed, seeds::MTRACE1_STREAM, 0));
+
+        // Arrivals first: the observation horizon (the last arrival) must
+        // be known to window the busy time correctly.
+        let mut arrivals = Vec::with_capacity(self.trace.len());
+        let mut t = 0.0_f64;
+        for _ in 0..self.trace.len() {
+            t += -(1.0 - rng.random::<f64>()).ln() / lambda;
+            arrivals.push(t);
+        }
+        let horizon = t;
 
         let mut tally = ResponseTally::new();
-        let mut arrival = 0.0_f64;
         let mut depart_prev = 0.0_f64;
-        let mut busy_time = 0.0_f64;
-        for &s in &self.trace {
-            arrival += -(1.0 - rng.random::<f64>()).ln() / lambda;
+        let mut busy_in_window = 0.0_f64;
+        for (&arrival, &s) in arrivals.iter().zip(&self.trace) {
             let start = arrival.max(depart_prev);
             let depart = start + s;
             tally.record(depart - arrival);
-            busy_time += s;
+            // Busy segment [start, depart), windowed to [0, horizon].
+            busy_in_window += depart.min(horizon) - start.min(horizon);
             depart_prev = depart;
         }
         Ok(MTrace1Result {
             response_mean: tally.mean()?,
             response_p95: tally.percentile(0.95)?,
-            utilization: (busy_time / depart_prev).min(1.0),
+            utilization: if horizon > 0.0 {
+                busy_in_window / horizon
+            } else {
+                0.0
+            },
             completed: self.trace.len(),
         })
     }
@@ -250,6 +280,10 @@ impl ClosedMapNetwork {
 
     /// Simulate for `horizon` seconds, measuring after `warmup` seconds.
     ///
+    /// The RNG stream is derived from `seed` via [`seeds::derive`] with
+    /// [`seeds::CLOSED_MAP_NETWORK_STREAM`]: two different simulators run
+    /// with the same seed consume disjoint streams.
+    ///
     /// # Errors
     /// Rejects a non-positive measurement interval or a run with no
     /// completions.
@@ -262,7 +296,8 @@ impl ClosedMapNetwork {
                 ),
             });
         }
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng =
+            SmallRng::seed_from_u64(seeds::derive(seed, seeds::CLOSED_MAP_NETWORK_STREAM, 0));
         let mut calendar: EventQueue<Event> = EventQueue::new();
         let mut stations = [
             MapStation::new(self.front, &mut rng),
@@ -465,9 +500,76 @@ mod tests {
     #[test]
     fn mtrace1_validation() {
         assert!(MTrace1::new(0.0, vec![1.0]).is_err());
-        assert!(MTrace1::new(1.0, vec![1.0]).is_err());
+        assert!(MTrace1::new(f64::INFINITY, vec![1.0]).is_err());
         assert!(MTrace1::new(0.5, vec![]).is_err());
         assert!(MTrace1::new(0.5, vec![-1.0]).is_err());
+        // Overloaded queues are legal (transient analysis): see
+        // overloaded_trace_reports_saturated_utilization.
+        assert!(MTrace1::new(1.0, vec![1.0]).is_ok());
+        assert!(MTrace1::new(1.5, vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn overloaded_trace_reports_saturated_utilization() {
+        // Offered load 1.5: after a short startup the server never idles,
+        // so the busy fraction over the observation horizon must approach 1
+        // — and must come out of the raw ratio, not a clamp.
+        let mut rng = SmallRng::seed_from_u64(14);
+        let trace: Vec<f64> = (0..200_000).map(|_| sample_exp(&mut rng, 1.0)).collect();
+        let result = MTrace1::new(1.5, trace).unwrap().run(15).unwrap();
+        assert!(
+            result.utilization() > 0.98 && result.utilization() <= 1.0,
+            "overloaded run reports U = {}",
+            result.utilization()
+        );
+        // Overload shows up in the responses too: the queue keeps growing,
+        // so the p95 dwarfs what any stable queue would produce.
+        assert!(result.response_time_p95() > 100.0);
+    }
+
+    #[test]
+    fn utilization_windows_to_the_observation_horizon() {
+        // An iid trace keeps the server's busy fraction at the offered load
+        // over the arrival horizon. A sorted trace backloads its work: the
+        // big jobs drain *after* the horizon, so the windowed utilization
+        // legitimately falls below rho — it must not be inflated by the
+        // 100%-busy drain tail the old last-departure denominator included.
+        use burstcap_map::trace::{hyperexp_trace, impose_burstiness, BurstProfile};
+        let base = hyperexp_trace(50_000, 1.0, 3.0, 4).unwrap();
+        let iid = impose_burstiness(&base, BurstProfile::Iid, 1).unwrap();
+        let sorted = impose_burstiness(&base, BurstProfile::Sorted, 1).unwrap();
+        let r_iid = MTrace1::new(0.5, iid).unwrap().run(9).unwrap();
+        let r_sorted = MTrace1::new(0.5, sorted).unwrap().run(9).unwrap();
+        assert!(
+            (r_iid.utilization() - 0.5).abs() < 0.05,
+            "iid U = {} should track the offered load 0.5",
+            r_iid.utilization()
+        );
+        assert!(
+            r_sorted.utilization() < r_iid.utilization(),
+            "sorted U = {} must exclude the post-horizon drain (iid U = {})",
+            r_sorted.utilization(),
+            r_iid.utilization()
+        );
+    }
+
+    #[test]
+    fn same_seed_different_simulators_use_disjoint_streams() {
+        // MTrace1 and ClosedMapNetwork derive different component streams
+        // from the same user seed (the old behaviour fed the identical
+        // xoshiro stream to both).
+        use crate::seeds;
+        let s = 77;
+        assert_ne!(
+            seeds::derive(s, seeds::MTRACE1_STREAM, 0),
+            seeds::derive(s, seeds::CLOSED_MAP_NETWORK_STREAM, 0)
+        );
+        // And each simulator stays deterministic per seed.
+        let trace = vec![1.0; 10_000];
+        let a = MTrace1::new(0.8, trace.clone()).unwrap().run(s).unwrap();
+        let b = MTrace1::new(0.8, trace).unwrap().run(s).unwrap();
+        assert_eq!(a.response_time_mean(), b.response_time_mean());
+        assert_eq!(a.utilization(), b.utilization());
     }
 
     #[test]

@@ -62,11 +62,13 @@ proptest! {
         prop_assert!(r.response_time_p95() >= r.response_time_mean());
     }
 
-    /// Response times are permutation-sensitive but workload-conserving:
-    /// total service time (hence utilization denominator) is identical
-    /// across reorderings of the same trace.
+    /// Utilization is a busy fraction over the arrival horizon: always in
+    /// [0, 1], at the offered load for an iid-ordered trace, and never
+    /// above it by more than noise for any reordering (a sorted trace
+    /// backloads work past the horizon, so its busy fraction can only
+    /// drop).
     #[test]
-    fn mtrace1_utilization_insensitive_to_order(seed in any::<u64>()) {
+    fn mtrace1_utilization_windowing(seed in any::<u64>()) {
         let base = burstcap_map::trace::hyperexp_trace(20_000, 1.0, 3.0, seed).unwrap();
         let sorted = burstcap_map::trace::impose_burstiness(
             &base,
@@ -76,7 +78,10 @@ proptest! {
         .unwrap();
         let a = MTrace1::new(0.5, base).unwrap().run(3).unwrap();
         let b = MTrace1::new(0.5, sorted).unwrap().run(3).unwrap();
-        prop_assert!((a.utilization() - b.utilization()).abs() < 0.1);
+        prop_assert!((0.0..=1.0).contains(&a.utilization()));
+        prop_assert!((0.0..=1.0).contains(&b.utilization()));
+        prop_assert!((a.utilization() - 0.5).abs() < 0.05, "iid U = {}", a.utilization());
+        prop_assert!(b.utilization() <= a.utilization() + 0.05);
         // Bursty order can only hurt or match mean response (allow noise).
         prop_assert!(b.response_time_mean() > 0.5 * a.response_time_mean());
     }

@@ -1,0 +1,454 @@
+//! Confidence intervals for replicated experiments.
+//!
+//! The multi-replication harness (`burstcap::experiment`) turns R
+//! independent replications of a scenario into interval estimates instead
+//! of point estimates. This module provides the pieces:
+//!
+//! * [`student_t_quantile`] — the Student-t inverse CDF, computed by
+//!   inverting the regularized incomplete beta function (no lookup tables,
+//!   no external crates);
+//! * [`mean_ci`] — a two-sided Student-t confidence interval for the mean
+//!   of i.i.d. replication outputs;
+//! * [`RelativePrecision`] — the classical sequential stopping rule: stop
+//!   adding replications once the CI half-width is below a fraction
+//!   `gamma` of the point estimate.
+//!
+//! Replication outputs are steady-state estimates of *independent* runs
+//! (disjoint RNG streams, see `burstcap_sim::seeds`), so the i.i.d.
+//! assumption behind the t interval holds by construction — unlike batch
+//! means within a single run, where autocorrelation (severe under bursty
+//! service, cf. the paper's slow-mixing MAP models) biases the variance
+//! estimate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::{mean, sample_variance};
+use crate::StatsError;
+
+/// A two-sided confidence interval `mean ± half_width`.
+///
+/// # Example
+/// ```
+/// let ci = burstcap_stats::ci::mean_ci(&[9.8, 10.1, 10.0, 9.9, 10.2], 0.95)?;
+/// assert!(ci.contains(10.0));
+/// assert!(ci.half_width > 0.0);
+/// # Ok::<(), burstcap_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean across replications).
+    pub mean: f64,
+    /// Half-width of the interval at the requested confidence level.
+    pub half_width: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+    /// Number of replications the interval is based on.
+    pub count: usize,
+}
+
+impl ConfidenceInterval {
+    /// Lower endpoint `mean - half_width`.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint `mean + half_width`.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `x` lies inside the interval (endpoints included).
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lower()..=self.upper()).contains(&x)
+    }
+
+    /// Half-width relative to the point estimate, `None` when the mean is
+    /// zero (relative precision undefined).
+    pub fn relative_half_width(&self) -> Option<f64> {
+        (self.mean != 0.0).then(|| self.half_width / self.mean.abs())
+    }
+}
+
+/// Two-sided Student-t confidence interval for the mean of `samples`.
+///
+/// Uses the unbiased sample variance and the `(1 + level) / 2` quantile of
+/// the t distribution with `n - 1` degrees of freedom.
+///
+/// # Errors
+/// Rejects `level` outside `(0, 1)` and fewer than two samples (the
+/// variance — and hence the interval — is undefined for a single
+/// replication; this is the same degeneracy [`crate::descriptive::RunningStats::variance`]
+/// reports as `None`).
+pub fn mean_ci(samples: &[f64], level: f64) -> Result<ConfidenceInterval, StatsError> {
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "level",
+            reason: format!("confidence level must lie in (0, 1), got {level}"),
+        });
+    }
+    let n = samples.len();
+    let m = mean(samples)?;
+    let var = sample_variance(samples)?;
+    let t = student_t_quantile((n - 1) as f64, 0.5 * (1.0 + level))?;
+    Ok(ConfidenceInterval {
+        mean: m,
+        half_width: t * (var / n as f64).sqrt(),
+        level,
+        count: n,
+    })
+}
+
+/// The relative-precision sequential stopping rule: replications are added
+/// until the CI half-width drops below `gamma * |mean|`.
+///
+/// # Example
+/// ```
+/// use burstcap_stats::ci::{mean_ci, RelativePrecision};
+///
+/// let rule = RelativePrecision::new(0.05)?;
+/// let tight = mean_ci(&[10.0, 10.01, 9.99, 10.0, 10.02, 9.98], 0.95)?;
+/// assert!(rule.satisfied_by(&tight));
+/// # Ok::<(), burstcap_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelativePrecision {
+    gamma: f64,
+}
+
+impl RelativePrecision {
+    /// Create a rule with target relative half-width `gamma` (e.g. `0.05`
+    /// for ±5%).
+    ///
+    /// # Errors
+    /// Rejects non-positive or non-finite `gamma`.
+    pub fn new(gamma: f64) -> Result<Self, StatsError> {
+        if gamma <= 0.0 || !gamma.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "gamma",
+                reason: format!("target relative precision must be positive, got {gamma}"),
+            });
+        }
+        Ok(RelativePrecision { gamma })
+    }
+
+    /// The configured target relative half-width.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Whether the interval already meets the target. A zero-mean interval
+    /// never satisfies a relative target.
+    pub fn satisfied_by(&self, ci: &ConfidenceInterval) -> bool {
+        ci.relative_half_width().is_some_and(|r| r <= self.gamma)
+    }
+}
+
+/// Quantile (inverse CDF) of the Student-t distribution with `df` degrees
+/// of freedom.
+///
+/// Computed by bisecting the CDF, which is expressed through the
+/// regularized incomplete beta function; accuracy is limited only by f64
+/// bisection (~1e-12 relative), far beyond what replication counts
+/// warrant.
+///
+/// # Errors
+/// Rejects non-positive `df` and `p` outside `(0, 1)`.
+///
+/// # Example
+/// ```
+/// // t_{0.975, inf} -> 1.96; already close at 30 degrees of freedom.
+/// let t = burstcap_stats::ci::student_t_quantile(30.0, 0.975)?;
+/// assert!((t - 2.042).abs() < 1e-3);
+/// # Ok::<(), burstcap_stats::StatsError>(())
+/// ```
+pub fn student_t_quantile(df: f64, p: f64) -> Result<f64, StatsError> {
+    if df <= 0.0 || !df.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "df",
+            reason: format!("degrees of freedom must be positive, got {df}"),
+        });
+    }
+    if !(0.0 < p && p < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "p",
+            reason: format!("probability must lie in (0, 1), got {p}"),
+        });
+    }
+    if p == 0.5 {
+        return Ok(0.0);
+    }
+    // Symmetry: solve for the upper tail and mirror.
+    let target = p.max(1.0 - p);
+    // CDF(t) = 1 - I_x(df/2, 1/2) / 2 with x = df / (df + t^2), t >= 0.
+    let cdf = |t: f64| 1.0 - 0.5 * reg_inc_beta(df / (df + t * t), 0.5 * df, 0.5);
+    // Bracket the quantile: expand the upper bound until the CDF crosses.
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    while cdf(hi) < target {
+        hi *= 2.0;
+        if hi > 1e300 {
+            break; // p astronomically close to 1; return the bound.
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= f64::EPSILON * hi.max(1.0) {
+            break;
+        }
+    }
+    let t = 0.5 * (lo + hi);
+    Ok(if p < 0.5 { -t } else { t })
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    // Coefficients from the standard Lanczos(7, 9) tabulation.
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps the approximation in its valid domain.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz
+/// continued fraction (Numerical Recipes `betacf` construction).
+fn reg_inc_beta(x: f64, a: f64, b: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&x));
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    // The continued fraction converges fastest for x < (a + 1)/(a + b + 2);
+    // use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) otherwise.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        ln_front.exp() * beta_cf(x, a, b) / a
+    } else {
+        1.0 - ln_front.exp() * beta_cf(1.0 - x, b, a) / b
+    }
+}
+
+fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-15;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Gamma(n) = (n-1)!.
+        for (n, fact) in [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ] {
+            assert!((ln_gamma(n) - f64::ln(fact)).abs() < 1e-10, "ln_gamma({n})");
+        }
+        // Gamma(1/2) = sqrt(pi).
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry_and_endpoints() {
+        assert_eq!(reg_inc_beta(0.0, 2.0, 3.0), 0.0);
+        assert_eq!(reg_inc_beta(1.0, 2.0, 3.0), 1.0);
+        for x in [0.1, 0.37, 0.5, 0.82] {
+            let lhs = reg_inc_beta(x, 1.7, 2.9);
+            let rhs = 1.0 - reg_inc_beta(1.0 - x, 2.9, 1.7);
+            assert!((lhs - rhs).abs() < 1e-12, "symmetry at x={x}");
+        }
+        // I_x(1, 1) is the uniform CDF.
+        assert!((reg_inc_beta(0.3, 1.0, 1.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_quantile_matches_tables() {
+        // Classical two-sided 95% critical values t_{0.975, df}.
+        for (df, expected) in [
+            (1.0, 12.706),
+            (2.0, 4.303),
+            (5.0, 2.571),
+            (10.0, 2.228),
+            (30.0, 2.042),
+            (120.0, 1.980),
+        ] {
+            let t = student_t_quantile(df, 0.975).unwrap();
+            assert!(
+                (t - expected).abs() < 2e-3,
+                "df={df}: got {t}, expected {expected}"
+            );
+        }
+        // 99% one-sided at 5 df.
+        let t = student_t_quantile(5.0, 0.99).unwrap();
+        assert!((t - 3.365).abs() < 2e-3, "got {t}");
+    }
+
+    #[test]
+    fn t_quantile_symmetry_and_median() {
+        assert_eq!(student_t_quantile(7.0, 0.5).unwrap(), 0.0);
+        let hi = student_t_quantile(7.0, 0.9).unwrap();
+        let lo = student_t_quantile(7.0, 0.1).unwrap();
+        assert!((hi + lo).abs() < 1e-9, "quantiles must mirror around 0");
+    }
+
+    #[test]
+    fn t_quantile_rejects_bad_parameters() {
+        assert!(student_t_quantile(0.0, 0.9).is_err());
+        assert!(student_t_quantile(5.0, 0.0).is_err());
+        assert!(student_t_quantile(5.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mean_ci_matches_hand_computation() {
+        // Samples {1, 2, 3}: mean 2, s^2 = 1, half-width = t_{0.975,2}/sqrt(3).
+        let ci = mean_ci(&[1.0, 2.0, 3.0], 0.95).unwrap();
+        assert!((ci.mean - 2.0).abs() < 1e-12);
+        let expected = 4.303 / 3.0_f64.sqrt();
+        assert!((ci.half_width - expected).abs() < 2e-3, "{}", ci.half_width);
+        assert_eq!(ci.count, 3);
+        assert!(ci.contains(2.0));
+        assert!(!ci.contains(100.0));
+    }
+
+    #[test]
+    fn mean_ci_narrows_with_replications() {
+        let wide = mean_ci(&[9.0, 11.0, 10.0], 0.95).unwrap();
+        let narrow = mean_ci(&[9.0, 11.0, 10.0, 9.5, 10.5, 10.0, 9.8, 10.2], 0.95).unwrap();
+        assert!(narrow.half_width < wide.half_width);
+    }
+
+    #[test]
+    fn mean_ci_rejects_degenerate_inputs() {
+        assert!(mean_ci(&[1.0], 0.95).is_err(), "one replication has no CI");
+        assert!(mean_ci(&[], 0.95).is_err());
+        assert!(mean_ci(&[1.0, 2.0], 0.0).is_err());
+        assert!(mean_ci(&[1.0, 2.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn relative_precision_rule() {
+        let rule = RelativePrecision::new(0.1).unwrap();
+        let tight = ConfidenceInterval {
+            mean: 100.0,
+            half_width: 5.0,
+            level: 0.95,
+            count: 10,
+        };
+        let loose = ConfidenceInterval {
+            mean: 100.0,
+            half_width: 30.0,
+            level: 0.95,
+            count: 3,
+        };
+        let zero = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 1.0,
+            level: 0.95,
+            count: 3,
+        };
+        assert!(rule.satisfied_by(&tight));
+        assert!(!rule.satisfied_by(&loose));
+        assert!(!rule.satisfied_by(&zero), "zero mean never satisfies");
+        assert!(RelativePrecision::new(0.0).is_err());
+    }
+
+    #[test]
+    fn coverage_is_roughly_nominal() {
+        // Repeated t intervals from a known-mean population should cover
+        // the true mean at about the nominal rate. Deterministic LCG noise
+        // keeps the test reproducible without rand.
+        let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut uniform = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut covered = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let sample: Vec<f64> = (0..8).map(|_| uniform() + uniform() + uniform()).collect();
+            let ci = mean_ci(&sample, 0.95).unwrap();
+            if ci.contains(1.5) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!(
+            (0.88..=0.99).contains(&rate),
+            "coverage {rate} far from nominal 0.95"
+        );
+    }
+}

@@ -217,7 +217,8 @@ impl Summary {
 ///     acc.push(x);
 /// }
 /// assert_eq!(acc.count(), 3);
-/// assert!((acc.mean() - 4.0).abs() < 1e-12);
+/// assert!((acc.mean().unwrap() - 4.0).abs() < 1e-12);
+/// assert!(RunningStats::new().mean().is_none()); // no data, no mean
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunningStats {
@@ -274,18 +275,22 @@ impl RunningStats {
         self.count
     }
 
-    /// Running mean (0 for an empty accumulator).
-    pub fn mean(&self) -> f64 {
-        self.mean
+    /// Running mean; `None` for an empty accumulator.
+    ///
+    /// An empty accumulator used to report a mean of `0.0`, which silently
+    /// turned "no data" into a plausible-looking statistic; the degenerate
+    /// case is now explicit, matching [`RunningStats::min`]/[`RunningStats::max`].
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
     }
 
-    /// Running population variance (0 until two observations arrive).
-    pub fn variance(&self) -> f64 {
-        if self.count < 2 {
-            0.0
-        } else {
-            self.m2 / self.count as f64
-        }
+    /// Running population variance; `None` until two observations arrive.
+    ///
+    /// A single observation has no dispersion information — reporting
+    /// `0.0` (as this accessor once did) masked under-sampled series as
+    /// perfectly deterministic ones.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count >= 2).then(|| self.m2 / self.count as f64)
     }
 
     /// Running squared coefficient of variation; `None` when undefined.
@@ -293,7 +298,7 @@ impl RunningStats {
         if self.count < 2 || self.mean == 0.0 {
             None
         } else {
-            Some(self.variance() / (self.mean * self.mean))
+            Some(self.m2 / self.count as f64 / (self.mean * self.mean))
         }
     }
 
@@ -422,10 +427,26 @@ mod tests {
         for &x in &data {
             acc.push(x);
         }
-        assert!((acc.mean() - mean(&data).unwrap()).abs() < 1e-12);
-        assert!((acc.variance() - variance(&data).unwrap()).abs() < 1e-9);
+        assert!((acc.mean().unwrap() - mean(&data).unwrap()).abs() < 1e-12);
+        assert!((acc.variance().unwrap() - variance(&data).unwrap()).abs() < 1e-9);
         assert_eq!(acc.min(), Some(0.01));
         assert_eq!(acc.max(), Some(44.0));
+    }
+
+    #[test]
+    fn running_stats_degenerate_moments_are_explicit() {
+        // The silent-zero pattern is gone: no observations means no mean,
+        // and one observation means no variance or SCV.
+        let mut acc = RunningStats::new();
+        assert_eq!(acc.mean(), None);
+        assert_eq!(acc.variance(), None);
+        assert_eq!(acc.scv(), None);
+        acc.push(3.0);
+        assert_eq!(acc.mean(), Some(3.0));
+        assert_eq!(acc.variance(), None);
+        assert_eq!(acc.scv(), None);
+        acc.push(5.0);
+        assert_eq!(acc.variance(), Some(1.0));
     }
 
     #[test]
@@ -440,8 +461,8 @@ mod tests {
         let mut all = RunningStats::new();
         a.iter().chain(b.iter()).for_each(|&x| all.push(x));
         assert_eq!(left.count(), all.count());
-        assert!((left.mean() - all.mean()).abs() < 1e-12);
-        assert!((left.variance() - all.variance()).abs() < 1e-12);
+        assert!((left.mean().unwrap() - all.mean().unwrap()).abs() < 1e-12);
+        assert!((left.variance().unwrap() - all.variance().unwrap()).abs() < 1e-12);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod acf;
 pub mod bottleneck;
 pub mod busy;
+pub mod ci;
 pub mod descriptive;
 pub mod dispersion;
 mod error;

@@ -13,11 +13,23 @@ proptest! {
 
     /// Welford accumulation agrees with batch formulas on any sample.
     #[test]
-    fn running_stats_match_batch(data in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+    fn running_stats_match_batch(data in prop::collection::vec(-1e6f64..1e6, 2..300)) {
         let mut acc = RunningStats::new();
         data.iter().for_each(|&x| acc.push(x));
-        prop_assert!((acc.mean() - mean(&data).unwrap()).abs() < 1e-6);
-        prop_assert!((acc.variance() - variance(&data).unwrap()).abs() < 1.0);
+        prop_assert!((acc.mean().unwrap() - mean(&data).unwrap()).abs() < 1e-6);
+        prop_assert!((acc.variance().unwrap() - variance(&data).unwrap()).abs() < 1.0);
+    }
+
+    /// A t confidence interval always brackets its own sample mean, shrinks
+    /// monotonically in the confidence level, and stays finite.
+    #[test]
+    fn mean_ci_brackets_sample_mean(data in prop::collection::vec(-1e3f64..1e3, 2..60)) {
+        let narrow = burstcap_stats::ci::mean_ci(&data, 0.90).unwrap();
+        let wide = burstcap_stats::ci::mean_ci(&data, 0.99).unwrap();
+        let m = mean(&data).unwrap();
+        prop_assert!(narrow.contains(m));
+        prop_assert!(narrow.half_width.is_finite() && narrow.half_width >= 0.0);
+        prop_assert!(wide.half_width >= narrow.half_width);
     }
 
     /// Variance is translation-invariant and scales quadratically.

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use burstcap_map::ph::Ph2;
 use burstcap_sim::engine::EventQueue;
 use burstcap_sim::measure::{BusyRecorder, CountRecorder, QueueLengthRecorder, ResponseTally};
+use burstcap_sim::seeds;
 use burstcap_sim::station::PsServer;
 
 use crate::contention::{ContentionConfig, SharedResource};
@@ -158,9 +159,9 @@ impl TestbedConfig {
     }
 }
 
-/// Salt mixed into user seeds so testbed streams differ from other
-/// workspace simulations run with the same seed.
-const TPCW_SEED: u64 = 0x7bc3_57ab_1e5e_ed01;
+// The testbed used to salt user seeds with a private constant
+// (`seed ^ TPCW_SEED`) while the other simulators used raw seeds; all
+// components now share the documented `burstcap_sim::seeds` derivation.
 
 /// Which stage a transaction is currently in.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -214,11 +215,31 @@ impl Testbed {
 
     /// Run the simulation and return trimmed monitoring output.
     ///
+    /// Equivalent to [`Testbed::replication`] with index 0: the RNG stream
+    /// is derived from the configured seed via [`burstcap_sim::seeds`], so
+    /// a testbed run never shares a stream with another simulator run from
+    /// the same user seed.
+    ///
     /// # Errors
     /// Fails if the measured interval contains no completed transaction.
     pub fn run(&self) -> Result<TestbedRun, TpcwError> {
+        self.replication(0)
+    }
+
+    /// Run replication `index` of this configuration: identical in every
+    /// parameter, driven by the RNG stream
+    /// `seeds::derive(config.seed, TESTBED_STREAM, index)`. Replications
+    /// are decorrelated by construction and each is individually
+    /// deterministic, so a batch can be executed in any order — serially,
+    /// or fanned across threads by `burstcap::experiment::Replications` —
+    /// and produce bit-identical per-replication results.
+    ///
+    /// # Errors
+    /// Fails if the measured interval contains no completed transaction.
+    pub fn replication(&self, index: u64) -> Result<TestbedRun, TpcwError> {
         let cfg = &self.config;
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ TPCW_SEED);
+        let mut rng =
+            SmallRng::seed_from_u64(seeds::derive(cfg.seed, seeds::TESTBED_STREAM, index));
         let mut calendar: EventQueue<Event> = EventQueue::new();
 
         let mut front = PsServer::new();
@@ -468,6 +489,27 @@ impl Testbed {
             count_resolution: cfg.count_resolution,
         })
     }
+
+    /// Run `r` independent replications serially and return them in
+    /// replication order (index 0 first, identical to [`Testbed::run`]).
+    ///
+    /// This is the batch entry point: per-replication RNG streams come from
+    /// the shared [`burstcap_sim::seeds`] derivation, so the same list —
+    /// aggregated in the same order — is what a parallel fan over
+    /// [`Testbed::replication`] produces (the cross-replication determinism
+    /// contract the experiment harness relies on).
+    ///
+    /// # Errors
+    /// Rejects `r = 0`; propagates the first failing replication.
+    pub fn replications(&self, r: usize) -> Result<Vec<TestbedRun>, TpcwError> {
+        if r == 0 {
+            return Err(TpcwError::InvalidParameter {
+                name: "r",
+                reason: "need at least one replication".into(),
+            });
+        }
+        (0..r as u64).map(|i| self.replication(i)).collect()
+    }
 }
 
 fn schedule_completion(
@@ -633,5 +675,27 @@ mod tests {
     fn response_p95_exceeds_mean() {
         let run = quick(Mix::Browsing, 50, 11);
         assert!(run.response_p95 > run.response_mean);
+    }
+
+    #[test]
+    fn replications_are_deterministic_and_decorrelated() {
+        let tb = Testbed::new(
+            TestbedConfig::new(Mix::Ordering, 10)
+                .duration(120.0)
+                .seed(4),
+        )
+        .unwrap();
+        let batch = tb.replications(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        // Replication 0 is exactly run().
+        let single = tb.run().unwrap();
+        assert_eq!(batch[0], single);
+        // Distinct replications use distinct streams.
+        assert_ne!(batch[0].throughput, batch[1].throughput);
+        assert_ne!(batch[1].throughput, batch[2].throughput);
+        // Each replication is individually reproducible.
+        assert_eq!(batch[2], tb.replication(2).unwrap());
+        // Degenerate batch size is rejected.
+        assert!(tb.replications(0).is_err());
     }
 }

@@ -1,0 +1,70 @@
+//! Multi-replication experiments in a dozen lines.
+//!
+//! Run with `cargo run --release --example replications`.
+//!
+//! Point estimates from one simulation run can be badly off under bursty
+//! service (single-run estimators converge slowly when the service process
+//! mixes slowly). The experiment harness replaces them with Student-t
+//! confidence intervals over R independent replications, fanned across
+//! worker threads — with aggregates guaranteed bit-identical to a serial
+//! fold of the same plan.
+
+use burstcap::experiment::Experiment;
+use burstcap_map::fit::Map2Fitter;
+use burstcap_map::Map2;
+use burstcap_sim::queues::ClosedMapNetwork;
+use burstcap_stats::ci::RelativePrecision;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A bursty closed network, replicated with a CI ------------------
+    let front = Map2::poisson(1.0 / 0.01)?;
+    let db = Map2Fitter::new(0.006, 40.0, 0.02).fit()?.map();
+    let net = ClosedMapNetwork::new(25, 0.4, front, db)?;
+    let result = Experiment::new(6)?
+        .master_seed(2008)
+        .workers(4)
+        .run(|rep| net.run(1500.0, 150.0, rep.seed))?;
+    let x = result.metric(|r| r.throughput)?;
+    println!(
+        "closed MAP network: X = {:.2} ± {:.2} req/s ({:.0}% CI, {} replications)",
+        x.mean,
+        x.half_width,
+        100.0 * x.level,
+        x.count
+    );
+
+    // --- 2. Sequential stopping: replicate until ±5% ------------------------
+    let rule = RelativePrecision::new(0.05)?;
+    let tight = Experiment::new(4)?.master_seed(2008).workers(4).run_until(
+        rule,
+        32,
+        |r: &burstcap_sim::queues::ClosedRunResult| r.throughput,
+        |rep| net.run(1500.0, 150.0, rep.seed),
+    )?;
+    let x = tight.metric(|r| r.throughput)?;
+    println!(
+        "after the ±5% stopping rule: X = {:.2} ± {:.2} ({} replications)",
+        x.mean,
+        x.half_width,
+        tight.replications()
+    );
+
+    // --- 3. The TPC-W testbed batch entry point -----------------------------
+    let testbed = Testbed::new(
+        TestbedConfig::new(Mix::Browsing, 50)
+            .duration(300.0)
+            .seed(1),
+    )?;
+    let runs = testbed.replications(4)?;
+    let result = Experiment::new(4)?.run(|rep| testbed.replication(rep.index))?;
+    assert_eq!(runs, result.into_outputs(), "batch == harness, always");
+    let xs: Vec<f64> = runs.iter().map(|r| r.throughput).collect();
+    let ci = burstcap_stats::ci::mean_ci(&xs, 0.95)?;
+    println!(
+        "TPC-W browsing @ 50 EBs: X = {:.1} ± {:.1} tx/s across {} replications",
+        ci.mean, ci.half_width, ci.count
+    );
+    Ok(())
+}

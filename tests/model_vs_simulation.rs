@@ -1,38 +1,61 @@
 //! Cross-validation of the exact MAP-QN solver against the independent
 //! discrete-event simulator, across burstiness regimes.
+//!
+//! Since the multi-replication harness landed, these checks consume
+//! CI-bearing aggregates instead of single-seed point estimates: the
+//! analytic throughput must fall within the simulation's Student-t
+//! interval (plus a small numerical margin), which both tightens the
+//! comparison and stops a lucky seed from masking a solver regression.
 
+use burstcap::experiment::Experiment;
 use burstcap_map::fit::Map2Fitter;
 use burstcap_map::Map2;
 use burstcap_qn::mapqn::MapNetwork;
 use burstcap_sim::queues::ClosedMapNetwork;
 
-fn check_agreement(front: Map2, db: Map2, pop: usize, seed: u64, tol: f64) {
+/// Replications per regime: enough for a meaningful interval, few enough
+/// that the suite stays fast.
+const REPLICATIONS: usize = 4;
+
+fn check_agreement(front: Map2, db: Map2, pop: usize, master_seed: u64, tol: f64) {
     let exact = MapNetwork::new(pop, 0.4, front, db)
         .expect("valid")
         .solve()
         .expect("solves");
-    let sim = ClosedMapNetwork::new(pop, 0.4, front, db)
-        .expect("valid")
-        .run(4000.0, 400.0, seed)
-        .expect("runs");
-    let rel = (exact.throughput - sim.throughput).abs() / exact.throughput;
+    let sim = ClosedMapNetwork::new(pop, 0.4, front, db).expect("valid");
+    let result = Experiment::new(REPLICATIONS)
+        .expect("valid plan")
+        .master_seed(master_seed)
+        .workers(2)
+        .run(|rep| sim.run(4000.0, 400.0, rep.seed))
+        .expect("replications run");
+
+    let x = result.metric(|r| r.throughput).expect("throughput CI");
+    let margin = tol * exact.throughput + x.half_width;
     assert!(
-        rel < tol,
-        "pop {pop}: analytic X = {} vs simulated X = {} ({rel:.4} rel)",
+        (exact.throughput - x.mean).abs() <= margin,
+        "pop {pop}: analytic X = {} vs simulated X = {} +/- {} (margin {margin})",
         exact.throughput,
-        sim.throughput
+        x.mean,
+        x.half_width
     );
+
+    let u_db = result.metric(|r| r.utilization_db).expect("U_db CI");
     assert!(
-        (exact.utilization_db - sim.utilization_db).abs() < 0.05,
-        "pop {pop}: U_db analytic {} vs sim {}",
+        (exact.utilization_db - u_db.mean).abs() <= 0.05 + u_db.half_width,
+        "pop {pop}: U_db analytic {} vs sim {} +/- {}",
         exact.utilization_db,
-        sim.utilization_db
+        u_db.mean,
+        u_db.half_width
     );
+
+    let q_fs = result.metric(|r| r.mean_jobs_front).expect("Q_fs CI");
     assert!(
-        (exact.mean_jobs_front - sim.mean_jobs_front).abs() < 0.15 * pop as f64 + 0.5,
-        "pop {pop}: Q_fs analytic {} vs sim {}",
+        (exact.mean_jobs_front - q_fs.mean).abs() <= 0.15 * pop as f64 + 0.5 + q_fs.half_width,
+        "pop {pop}: Q_fs analytic {} vs sim {} +/- {}",
         exact.mean_jobs_front,
-        sim.mean_jobs_front
+        q_fs.mean,
+        q_fs.half_width
     );
 }
 

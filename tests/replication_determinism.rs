@@ -1,0 +1,103 @@
+//! Cross-replication determinism: the parallel experiment harness and a
+//! serial fold over the same replication plan must produce bit-identical
+//! aggregates for a fixed master seed. This extends the per-simulator
+//! `deterministic_per_seed` tests to the batch path.
+
+use burstcap::experiment::{Experiment, Replications};
+use burstcap_map::Map2;
+use burstcap_sim::queues::{ClosedMapNetwork, MTrace1};
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+/// Fold a metric the way the harness consumers do: in replication order.
+fn fold_bits(values: impl IntoIterator<Item = f64>) -> Vec<u64> {
+    values.into_iter().map(f64::to_bits).collect()
+}
+
+#[test]
+fn closed_network_parallel_aggregate_is_bit_identical_to_serial() {
+    let front = Map2::poisson(1.0 / 0.015).expect("valid");
+    let db = Map2::poisson(1.0 / 0.02).expect("valid");
+    let net = ClosedMapNetwork::new(4, 0.4, front, db).expect("valid");
+    let scenario = |rep: burstcap::experiment::Replication| net.run(200.0, 20.0, rep.seed);
+
+    let serial = Replications::new(6)
+        .expect("valid plan")
+        .master_seed(2026)
+        .run(scenario)
+        .expect("serial fold");
+    let parallel = Replications::new(6)
+        .expect("valid plan")
+        .master_seed(2026)
+        .workers(4)
+        .run(scenario)
+        .expect("parallel fan");
+
+    assert_eq!(
+        fold_bits(serial.iter().map(|r| r.throughput)),
+        fold_bits(parallel.iter().map(|r| r.throughput)),
+    );
+    assert_eq!(
+        fold_bits(serial.iter().map(|r| r.mean_jobs_db)),
+        fold_bits(parallel.iter().map(|r| r.mean_jobs_db)),
+    );
+
+    // And therefore the CI-bearing aggregates coincide exactly too.
+    let ci_of = |workers: usize| {
+        Experiment::new(6)
+            .expect("valid plan")
+            .master_seed(2026)
+            .workers(workers)
+            .run(scenario)
+            .expect("runs")
+            .metric(|r| r.throughput)
+            .expect("CI")
+    };
+    let a = ci_of(1);
+    let b = ci_of(4);
+    assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+    assert_eq!(a.half_width.to_bits(), b.half_width.to_bits());
+}
+
+#[test]
+fn mtrace1_parallel_aggregate_is_bit_identical_to_serial() {
+    let queue = MTrace1::new(0.7, vec![1.0; 20_000]).expect("valid");
+    let scenario = |rep: burstcap::experiment::Replication| queue.run(rep.seed);
+    let serial = Replications::new(5)
+        .expect("valid plan")
+        .master_seed(99)
+        .run(scenario)
+        .expect("serial fold");
+    let parallel = Replications::new(5)
+        .expect("valid plan")
+        .master_seed(99)
+        .workers(3)
+        .run(scenario)
+        .expect("parallel fan");
+    assert_eq!(
+        fold_bits(serial.iter().map(|r| r.response_time_mean())),
+        fold_bits(parallel.iter().map(|r| r.response_time_mean())),
+    );
+    assert_eq!(
+        fold_bits(serial.iter().map(|r| r.utilization())),
+        fold_bits(parallel.iter().map(|r| r.utilization())),
+    );
+}
+
+#[test]
+fn testbed_batch_matches_parallel_fan() {
+    // Testbed::replications (serial batch) and the harness fanning
+    // Testbed::replication across workers are the same list.
+    let tb =
+        Testbed::new(TestbedConfig::new(Mix::Shopping, 8).duration(120.0).seed(5)).expect("valid");
+    let batch = tb.replications(4).expect("serial batch");
+    let fanned = Replications::new(4)
+        .expect("valid plan")
+        .workers(2)
+        .run(|rep| tb.replication(rep.index))
+        .expect("parallel fan");
+    assert_eq!(batch.len(), fanned.len());
+    for (s, p) in batch.iter().zip(&fanned) {
+        assert_eq!(s, p, "batch and fanned replications must match exactly");
+    }
+}
