@@ -1,11 +1,12 @@
 //! Criterion bench for the Figure 2 index-of-dispersion estimator (the
-//! per-measurement cost of the methodology) and its ablation over stopping
-//! tolerances.
+//! per-measurement cost of the methodology), its ablation over stopping
+//! tolerances, and the window-aggregation kernel (sliding-window rewrite vs
+//! the naive rescan it replaced).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use burstcap_stats::dispersion::DispersionEstimator;
+use burstcap_stats::dispersion::{aggregate_counts, aggregate_counts_naive, DispersionEstimator};
 
 fn synthetic_windows(n: usize) -> (Vec<f64>, Vec<u64>) {
     // Regime-switching counts resembling a bursty tier.
@@ -39,9 +40,33 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// The aggregation kernel on a long trace at a deep aggregation level —
+/// exactly the regime where the naive rescan went quadratic (every start
+/// rescans ~`level` windows). The sliding-window rewrite is O(n) per level.
+fn bench_aggregation(c: &mut Criterion) {
+    let n = 20_000;
+    let (util, counts) = synthetic_windows(n);
+    let busy: Vec<f64> = util.iter().map(|u| u * 5.0).collect();
+    let mut group = c.benchmark_group("aggregate_counts");
+    for level in [8usize, 64] {
+        let t = level as f64 * 5.0;
+        group.bench_with_input(
+            BenchmarkId::new("sliding_20k", format!("level{level}")),
+            &t,
+            |b, &t| b.iter(|| aggregate_counts(black_box(&busy), black_box(&counts), t)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_20k", format!("level{level}")),
+            &t,
+            |b, &t| b.iter(|| aggregate_counts_naive(black_box(&busy), black_box(&counts), t)),
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench
+    targets = bench, bench_aggregation
 }
 criterion_main!(benches);

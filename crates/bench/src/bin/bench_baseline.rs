@@ -1,7 +1,7 @@
 //! Performance-trajectory snapshot: times the CTMC solver stack on the
 //! paper's MAP(2)×MAP(2) network and writes a `BENCH_*.json` record.
 //!
-//! Two sweeps:
+//! Three sweeps:
 //!
 //! * **dense-feasible populations** — dense LU oracle vs the sparse CSR
 //!   engine on identical instances, ending at the largest population the
@@ -9,7 +9,10 @@
 //!   sparse-over-dense speedup there;
 //! * **sparse-only populations** — the sparse engine and the direct
 //!   level-reduction out to population 100, where the dense path is long
-//!   intractable.
+//!   intractable;
+//! * **station-count scaling** — the N-station generalization across
+//!   `M x population` (tandems of 2, 3, and 4 MAP(2) stations) through
+//!   `solve_auto`, with the `M = 3` point surfaced in the JSON summary.
 //!
 //! Usage: `cargo run --release -p burstcap-bench --bin bench_baseline
 //! [output.json]` (default output `BENCH_baseline.json` in the current
@@ -31,8 +34,12 @@ use burstcap_qn::QnError;
 const DENSE_FEASIBLE_POPS: [usize; 5] = [10, 15, 20, 25, 30];
 /// Populations covered only by the sparse engine and the direct method.
 const SPARSE_POPS: [usize; 3] = [50, 75, 100];
+/// Station-count scaling grid: `(M, populations)` pairs solved via
+/// `solve_auto` (populations shrink with M to keep the grid fast).
+const STATION_GRID: [(usize, [usize; 2]); 3] = [(2, [30, 60]), (3, [20, 40]), (4, [10, 20])];
 
 struct Record {
+    stations: usize,
     population: usize,
     states: usize,
     transitions: usize,
@@ -76,6 +83,7 @@ fn main() {
     let mut records: Vec<Record> = Vec::new();
     let mut push = |net: &MapNetwork, method: &'static str, median: f64, x: f64| {
         records.push(Record {
+            stations: net.station_count(),
             population: net.population(),
             states: net.state_count(),
             transitions: net.outgoing_csr().expect("assembles").nnz(),
@@ -134,6 +142,39 @@ fn main() {
         );
     }
 
+    burstcap_bench::header("bench_baseline: station-count x population scaling (solve_auto)");
+    // A light extra tier reused for every station beyond the front/db pair,
+    // so tandems of different length stay comparable.
+    let extra = Map2Fitter::new(0.004, 4.0, 0.012)
+        .fit()
+        .expect("feasible")
+        .map();
+    let mut m3_states = 0usize;
+    let mut m3_ms = 0.0;
+    let mut m3_x = 0.0;
+    for &(m, pops) in &STATION_GRID {
+        for &pop in &pops {
+            let mut stations = vec![front];
+            stations.resize(m - 1, extra);
+            stations.push(db);
+            let net = MapNetwork::tandem(pop, think, stations).expect("valid network");
+            let (auto_ms, auto_x) = median_ms(reps, || net.solve_auto(10_000));
+            push(&net, "solve_auto", auto_ms, auto_x);
+            println!(
+                "{}",
+                burstcap_bench::row(
+                    &format!("M={m} pop {pop} ({} states)", net.state_count()),
+                    &[format!("auto {auto_ms:.1} ms"), format!("X {auto_x:.1}")],
+                )
+            );
+            if m == 3 && pop == pops[pops.len() - 1] {
+                m3_states = net.state_count();
+                m3_ms = auto_ms;
+                m3_x = auto_x;
+            }
+        }
+    }
+
     let speedup = dense_at_largest / sparse_at_largest;
     let largest = *DENSE_FEASIBLE_POPS.last().expect("non-empty");
     let largest_states = MapNetwork::new(largest, think, front, db)
@@ -151,21 +192,32 @@ fn main() {
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         rows.push_str(&format!(
-            "    {{\"population\": {}, \"states\": {}, \"transitions\": {}, \
+            "    {{\"stations\": {}, \"population\": {}, \"states\": {}, \"transitions\": {}, \
              \"method\": \"{}\", \"median_ms\": {:.3}, \"throughput\": {:.6}}}{}\n",
-            r.population, r.states, r.transitions, r.method, r.median_ms, r.throughput, sep
+            r.stations,
+            r.population,
+            r.states,
+            r.transitions,
+            r.method,
+            r.median_ms,
+            r.throughput,
+            sep
         ));
     }
     let json = format!(
         "{{\n  \"bench\": \"bench_baseline\",\n  \"seed\": {seed},\n  \
          \"front_map\": {{\"mean\": 0.01, \"index_of_dispersion\": 8.0, \"p95\": 0.03}},\n  \
          \"db_map\": {{\"mean\": 0.008, \"index_of_dispersion\": 12.0, \"p95\": 0.02}},\n  \
+         \"extra_tier_map\": {{\"mean\": 0.004, \"index_of_dispersion\": 4.0, \"p95\": 0.012}},\n  \
          \"think_time\": {think},\n  \"repetitions\": {reps},\n  \
          \"largest_dense_feasible\": {{\"population\": {largest}, \"states\": {largest_states}, \
          \"dense_lu_ms\": {dense_at_largest:.3}, \"sparse_ms\": {sparse_at_largest:.3}, \
          \"speedup\": {speedup:.2}, \"throughput_rel_gap\": {agreement:.3e}}},\n  \
+         \"three_station_point\": {{\"stations\": 3, \"population\": {m3_pop}, \
+         \"states\": {m3_states}, \"solve_auto_ms\": {m3_ms:.3}, \"throughput\": {m3_x:.6}}},\n  \
          \"results\": [\n{rows}  ]\n}}\n",
         seed = burstcap_bench::BASE_SEED,
+        m3_pop = STATION_GRID[1].1[1],
     );
     std::fs::write(&out_path, json).expect("write benchmark snapshot");
     println!("wrote {out_path}");

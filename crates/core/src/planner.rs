@@ -85,15 +85,21 @@ impl Default for PlannerOptions {
 }
 
 /// A throughput prediction for one population.
+///
+/// Per-tier utilizations live in `utilization` (tandem order); the scalar
+/// `*_front` / `*_db` fields mirror the first and last tier for continuity
+/// with the two-tier model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Prediction {
     /// Target number of emulated browsers (customers).
     pub population: usize,
     /// Predicted system throughput (requests/second).
     pub throughput: f64,
-    /// Predicted front-tier utilization.
+    /// Predicted per-tier utilization, in tier order.
+    pub utilization: Vec<f64>,
+    /// Predicted first-tier utilization (`utilization[0]`).
     pub utilization_front: f64,
-    /// Predicted database utilization.
+    /// Predicted last-tier utilization (`utilization[M - 1]`).
     pub utilization_db: f64,
     /// Predicted mean response time per request (seconds).
     pub response_time: f64,
@@ -106,24 +112,26 @@ impl From<(usize, MapQnSolution)> for Prediction {
             throughput: s.throughput,
             utilization_front: s.utilization_front,
             utilization_db: s.utilization_db,
+            utilization: s.utilization,
             response_time: s.response_time,
         }
     }
 }
 
-/// The burstiness-aware planner (the paper's "Model").
+/// The burstiness-aware planner (the paper's "Model"), over any number of
+/// tiers: each tier is characterized by (mean, `I`, p95), fitted to a
+/// MAP(2), and the tiers form the tandem MAP network of `burstcap_qn`.
 #[derive(Debug, Clone)]
 pub struct CapacityPlanner {
-    front: ServiceCharacterization,
-    db: ServiceCharacterization,
-    front_fit: FittedMap2,
-    db_fit: FittedMap2,
+    tiers: Vec<ServiceCharacterization>,
+    fits: Vec<FittedMap2>,
     solver: SolverStrategy,
 }
 
 impl CapacityPlanner {
-    /// Build a planner from per-tier monitoring series using default
-    /// options.
+    /// Build a two-tier planner from front/database monitoring series using
+    /// default options (the paper's model; thin wrapper over
+    /// [`CapacityPlanner::from_tier_measurements`]).
     ///
     /// # Errors
     /// Propagates characterization and fitting failures.
@@ -134,7 +142,8 @@ impl CapacityPlanner {
         Self::with_options(front, db, PlannerOptions::default())
     }
 
-    /// Build a planner with explicit options.
+    /// Build a two-tier planner with explicit options (thin wrapper over
+    /// [`CapacityPlanner::from_tier_measurements`]).
     ///
     /// # Errors
     /// Propagates characterization and fitting failures.
@@ -143,21 +152,29 @@ impl CapacityPlanner {
         db: &TierMeasurements,
         options: PlannerOptions,
     ) -> Result<Self, PlanError> {
-        let front_char = characterize(front, options.characterize)?;
-        let db_char = characterize(db, options.characterize)?;
-        let front_fit = fit_tier(&front_char, options.i_tolerance)?;
-        let db_fit = fit_tier(&db_char, options.i_tolerance)?;
-        Ok(CapacityPlanner {
-            front: front_char,
-            db: db_char,
-            front_fit,
-            db_fit,
-            solver: options.solver,
-        })
+        Self::from_tier_measurements(&[front, db], options)
     }
 
-    /// Build a planner directly from known per-tier characterizations
-    /// (useful for what-if studies without raw measurements).
+    /// Build a planner from monitoring series for any number of tiers, in
+    /// tandem order (e.g. web, app, db).
+    ///
+    /// # Errors
+    /// Rejects an empty tier list; propagates characterization and fitting
+    /// failures.
+    pub fn from_tier_measurements(
+        tiers: &[&TierMeasurements],
+        options: PlannerOptions,
+    ) -> Result<Self, PlanError> {
+        let characterized = tiers
+            .iter()
+            .map(|m| characterize(m, options.characterize))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_tier_characterizations(characterized, options)
+    }
+
+    /// Build a two-tier planner directly from known characterizations
+    /// (useful for what-if studies without raw measurements; thin wrapper
+    /// over [`CapacityPlanner::from_tier_characterizations`]).
     ///
     /// # Errors
     /// Propagates fitting failures.
@@ -166,35 +183,69 @@ impl CapacityPlanner {
         db: ServiceCharacterization,
         options: PlannerOptions,
     ) -> Result<Self, PlanError> {
-        let front_fit = fit_tier(&front, options.i_tolerance)?;
-        let db_fit = fit_tier(&db, options.i_tolerance)?;
+        Self::from_tier_characterizations(vec![front, db], options)
+    }
+
+    /// Build a planner from known per-tier characterizations, in tandem
+    /// order.
+    ///
+    /// # Errors
+    /// Rejects an empty tier list; propagates fitting failures.
+    pub fn from_tier_characterizations(
+        tiers: Vec<ServiceCharacterization>,
+        options: PlannerOptions,
+    ) -> Result<Self, PlanError> {
+        if tiers.is_empty() {
+            return Err(PlanError::InvalidMeasurements {
+                reason: "need at least one tier".into(),
+            });
+        }
+        let fits = tiers
+            .iter()
+            .map(|c| fit_tier(c, options.i_tolerance))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(CapacityPlanner {
-            front,
-            db,
-            front_fit,
-            db_fit,
+            tiers,
+            fits,
             solver: options.solver,
         })
     }
 
-    /// The front tier's measured descriptors.
+    /// Every tier's measured descriptors, in tandem order.
+    pub fn tier_characterizations(&self) -> &[ServiceCharacterization] {
+        &self.tiers
+    }
+
+    /// Every tier's fitted MAP(2) with diagnostics, in tandem order.
+    pub fn tier_fits(&self) -> &[FittedMap2] {
+        &self.fits
+    }
+
+    /// Number of modeled tiers.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The first tier's measured descriptors (the front tier of the
+    /// two-tier model).
     pub fn front_characterization(&self) -> &ServiceCharacterization {
-        &self.front
+        &self.tiers[0]
     }
 
-    /// The database tier's measured descriptors.
+    /// The last tier's measured descriptors (the database tier of the
+    /// two-tier model).
     pub fn db_characterization(&self) -> &ServiceCharacterization {
-        &self.db
+        self.tiers.last().expect("validated non-empty")
     }
 
-    /// The fitted front-tier MAP(2) with diagnostics.
+    /// The first tier's fitted MAP(2) with diagnostics.
     pub fn front_fit(&self) -> &FittedMap2 {
-        &self.front_fit
+        &self.fits[0]
     }
 
-    /// The fitted database MAP(2) with diagnostics.
+    /// The last tier's fitted MAP(2) with diagnostics.
     pub fn db_fit(&self) -> &FittedMap2 {
-        &self.db_fit
+        self.fits.last().expect("validated non-empty")
     }
 
     /// The solver strategy predictions will use.
@@ -211,11 +262,10 @@ impl CapacityPlanner {
     /// # Errors
     /// Propagates model-solution failures.
     pub fn predict(&self, population: usize, think_time: f64) -> Result<Prediction, PlanError> {
-        let net = MapNetwork::new(
+        let net = MapNetwork::tandem(
             population,
             think_time,
-            self.front_fit.map(),
-            self.db_fit.map(),
+            self.fits.iter().map(|f| f.map()).collect(),
         )?;
         Ok((population, self.solver.solve(&net)?).into())
     }
@@ -237,26 +287,30 @@ impl CapacityPlanner {
 }
 
 fn fit_tier(c: &ServiceCharacterization, i_tolerance: f64) -> Result<FittedMap2, PlanError> {
-    // Clamp targets into the feasible domain of two-phase processes: the
-    // estimators can produce I slightly below 1/2 on nearly deterministic
-    // tiers, where burstiness is irrelevant anyway.
-    let i = c.index_of_dispersion.max(0.51);
+    // The estimators can produce I at or below the 1/2 floor of two-phase
+    // processes on nearly deterministic tiers, where burstiness is
+    // irrelevant anyway: the fitter's opt-in floor raises such targets and
+    // *records* the adjustment on the fit (FittedMap2::floored_target_i)
+    // instead of clamping silently here.
     let p95 = c.p95_service_time.max(c.mean_service_time * 1.05);
-    Ok(Map2Fitter::new(c.mean_service_time, i, p95)
-        .i_tolerance(i_tolerance)
-        .fit()?)
+    Ok(
+        Map2Fitter::new(c.mean_service_time, c.index_of_dispersion, p95)
+            .i_tolerance(i_tolerance)
+            .i_floor(true)
+            .fit()?,
+    )
 }
 
-/// The Section 3.4 baseline: plain MVA on mean demands.
+/// The Section 3.4 baseline: plain MVA on mean demands, over any number of
+/// tiers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MvaBaseline {
-    front_demand: f64,
-    db_demand: f64,
+    demands: Vec<f64>,
 }
 
 impl MvaBaseline {
-    /// Estimate mean demands from the same monitoring series the planner
-    /// uses (utilization-law regression).
+    /// Estimate front/database demands from the same monitoring series the
+    /// two-tier planner uses (utilization-law regression).
     ///
     /// # Errors
     /// Propagates regression failures.
@@ -264,46 +318,74 @@ impl MvaBaseline {
         front: &TierMeasurements,
         db: &TierMeasurements,
     ) -> Result<Self, PlanError> {
-        let f = burstcap_stats::regression::estimate_demand(
-            front.utilization(),
-            front.completions(),
-            front.resolution(),
-        )?;
-        let d = burstcap_stats::regression::estimate_demand(
-            db.utilization(),
-            db.completions(),
-            db.resolution(),
-        )?;
-        Ok(MvaBaseline {
-            front_demand: f.mean_service_time,
-            db_demand: d.mean_service_time,
-        })
+        Self::from_tier_measurements(&[front, db])
     }
 
-    /// Build from known mean demands.
+    /// Estimate per-tier demands from monitoring series for any number of
+    /// tiers, in tandem order.
+    ///
+    /// # Errors
+    /// Rejects an empty tier list; propagates regression failures.
+    pub fn from_tier_measurements(tiers: &[&TierMeasurements]) -> Result<Self, PlanError> {
+        if tiers.is_empty() {
+            return Err(PlanError::InvalidMeasurements {
+                reason: "need at least one tier".into(),
+            });
+        }
+        let demands = tiers
+            .iter()
+            .map(|m| {
+                burstcap_stats::regression::estimate_demand(
+                    m.utilization(),
+                    m.completions(),
+                    m.resolution(),
+                )
+                .map(|d| d.mean_service_time)
+                .map_err(PlanError::from)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MvaBaseline { demands })
+    }
+
+    /// Build from known front/database mean demands.
     ///
     /// # Errors
     /// Rejects non-positive demands.
     pub fn from_demands(front_demand: f64, db_demand: f64) -> Result<Self, PlanError> {
-        if front_demand <= 0.0 || db_demand <= 0.0 {
+        Self::from_demand_vector(vec![front_demand, db_demand])
+    }
+
+    /// Build from known per-tier mean demands, in tandem order.
+    ///
+    /// # Errors
+    /// Rejects an empty list and non-positive demands.
+    pub fn from_demand_vector(demands: Vec<f64>) -> Result<Self, PlanError> {
+        if demands.is_empty() {
+            return Err(PlanError::InvalidMeasurements {
+                reason: "need at least one tier".into(),
+            });
+        }
+        if demands.iter().any(|&d| d <= 0.0 || !d.is_finite()) {
             return Err(PlanError::InvalidMeasurements {
                 reason: "demands must be positive".into(),
             });
         }
-        Ok(MvaBaseline {
-            front_demand,
-            db_demand,
-        })
+        Ok(MvaBaseline { demands })
     }
 
-    /// The front demand used by the baseline.
+    /// The per-tier demands used by the baseline, in tandem order.
+    pub fn demands(&self) -> &[f64] {
+        &self.demands
+    }
+
+    /// The first tier's demand.
     pub fn front_demand(&self) -> f64 {
-        self.front_demand
+        self.demands[0]
     }
 
-    /// The database demand used by the baseline.
+    /// The last tier's demand.
     pub fn db_demand(&self) -> f64 {
-        self.db_demand
+        *self.demands.last().expect("validated non-empty")
     }
 
     /// Exact MVA prediction at `population` customers.
@@ -311,13 +393,14 @@ impl MvaBaseline {
     /// # Errors
     /// Propagates solver parameter errors.
     pub fn predict(&self, population: usize, think_time: f64) -> Result<Prediction, PlanError> {
-        let mva = ClosedMva::new(vec![self.front_demand, self.db_demand], think_time)?;
+        let mva = ClosedMva::new(self.demands.clone(), think_time)?;
         let s = mva.solve(population)?;
         Ok(Prediction {
             population,
             throughput: s.throughput,
             utilization_front: s.utilization[0],
-            utilization_db: s.utilization[1],
+            utilization_db: *s.utilization.last().expect("at least one station"),
+            utilization: s.utilization,
             response_time: s.response_time,
         })
     }
@@ -455,6 +538,88 @@ mod tests {
                 "strategies disagree: {predictions:?}"
             );
         }
+    }
+
+    #[test]
+    fn three_tier_planner_matches_mva_for_low_burstiness() {
+        // Web + app + db, all steady: the MAP model degenerates toward the
+        // product-form solution, so the three-tier planner and three-tier
+        // MVA baseline nearly coincide.
+        let web = steady(0.2, 250); // S_web = 4 ms
+        let app = steady(0.5, 250); // S_app = 10 ms
+        let db = steady(0.25, 250); // S_db = 5 ms
+        let planner =
+            CapacityPlanner::from_tier_measurements(&[&web, &app, &db], PlannerOptions::default())
+                .unwrap();
+        assert_eq!(planner.tier_count(), 3);
+        assert!((planner.tier_characterizations()[0].mean_service_time - 0.004).abs() < 1e-9);
+        // Scalar accessors point at the first/last tier.
+        assert_eq!(
+            planner.front_characterization().mean_service_time,
+            planner.tier_characterizations()[0].mean_service_time
+        );
+        assert_eq!(
+            planner.db_characterization().mean_service_time,
+            planner.tier_characterizations()[2].mean_service_time
+        );
+        let mva = MvaBaseline::from_tier_measurements(&[&web, &app, &db]).unwrap();
+        assert_eq!(mva.demands().len(), 3);
+        for n in [5, 20, 50] {
+            let a = planner.predict(n, 0.5).unwrap();
+            let b = mva.predict(n, 0.5).unwrap();
+            assert_eq!(a.utilization.len(), 3);
+            assert!(
+                (a.throughput - b.throughput).abs() / b.throughput < 0.08,
+                "N={n}: planner {} vs mva {}",
+                a.throughput,
+                b.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn two_tier_wrappers_match_tier_vector_entry_points() {
+        // The historical two-tier constructors are thin wrappers: same
+        // predictions as the explicit tier-vector path.
+        let front = steady(0.5, 250);
+        let db = bursty(250);
+        let a = CapacityPlanner::from_measurements(&front, &db).unwrap();
+        let b = CapacityPlanner::from_tier_measurements(&[&front, &db], PlannerOptions::default())
+            .unwrap();
+        let pa = a.predict(20, 0.5).unwrap();
+        let pb = b.predict(20, 0.5).unwrap();
+        assert_eq!(pa.throughput, pb.throughput);
+        assert_eq!(pa.utilization, pb.utilization);
+        let ma = MvaBaseline::from_measurements(&front, &db).unwrap();
+        let mb = MvaBaseline::from_tier_measurements(&[&front, &db]).unwrap();
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn planner_records_floored_dispersion_instead_of_clamping() {
+        // A deterministic tier measures I = 0; the fit succeeds at the
+        // floor and the adjustment is visible in the diagnostics (the old
+        // .max(0.51) clamp left no trace).
+        let planner = CapacityPlanner::from_measurements(&steady(0.5, 250), &bursty(250)).unwrap();
+        let front_fit = planner.front_fit();
+        assert!(
+            front_fit.floored_target_i().is_some(),
+            "steady tier (I ~ 0) must record the floor adjustment"
+        );
+        assert!(
+            planner.db_fit().floored_target_i().is_none(),
+            "bursty tier must fit its measured I unmodified"
+        );
+    }
+
+    #[test]
+    fn empty_tier_lists_rejected() {
+        assert!(
+            CapacityPlanner::from_tier_characterizations(vec![], PlannerOptions::default())
+                .is_err()
+        );
+        assert!(MvaBaseline::from_tier_measurements(&[]).is_err());
+        assert!(MvaBaseline::from_demand_vector(vec![]).is_err());
     }
 
     #[test]

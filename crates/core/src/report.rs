@@ -167,6 +167,7 @@ mod tests {
         Prediction {
             population,
             throughput,
+            utilization: vec![0.5, 0.5],
             utilization_front: 0.5,
             utilization_db: 0.5,
             response_time: 0.1,

@@ -27,6 +27,11 @@ use crate::MapError;
 /// Default relative tolerance on the index of dispersion (the paper's ±20%).
 pub const DEFAULT_I_TOLERANCE: f64 = 0.2;
 
+/// The smallest index-of-dispersion target the opt-in
+/// [`Map2Fitter::i_floor`] raises infeasible requests to: slightly above
+/// the `I = 1/2` floor of two-phase processes.
+pub const MIN_FEASIBLE_I: f64 = 0.51;
+
 /// One candidate examined by the fitter, retained for diagnostics and
 /// ablation studies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,6 +58,7 @@ pub struct FittedMap2 {
     target_mean: f64,
     target_i: f64,
     target_p95: f64,
+    floored_target_i: Option<f64>,
     candidates: Vec<Candidate>,
 }
 
@@ -82,6 +88,16 @@ impl FittedMap2 {
     pub fn p95_error(&self) -> f64 {
         (self.chosen.achieved_p95 - self.target_p95).abs() / self.target_p95
     }
+
+    /// When the requested index of dispersion was below the two-phase
+    /// feasibility floor and the opt-in [`Map2Fitter::i_floor`] raised it to
+    /// [`MIN_FEASIBLE_I`], this records the **original** request; `None`
+    /// means the fit targeted the requested `I` unmodified. The adjustment
+    /// used to happen silently in callers (`.max(0.51)`); it is now an
+    /// explicit, queryable part of the fit diagnostics.
+    pub fn floored_target_i(&self) -> Option<f64> {
+        self.floored_target_i
+    }
 }
 
 /// Builder implementing the Section 4.1 fitting search.
@@ -104,6 +120,7 @@ pub struct Map2Fitter {
     scv_grid_size: usize,
     p_grid_size: usize,
     max_scv: f64,
+    floor_low_i: bool,
 }
 
 impl Map2Fitter {
@@ -118,6 +135,7 @@ impl Map2Fitter {
             scv_grid_size: 16,
             p_grid_size: 12,
             max_scv: 512.0,
+            floor_low_i: false,
         }
     }
 
@@ -145,6 +163,19 @@ impl Map2Fitter {
         self
     }
 
+    /// Opt into raising an infeasibly low index-of-dispersion target to
+    /// [`MIN_FEASIBLE_I`] instead of failing. The adjustment is recorded in
+    /// [`FittedMap2::floored_target_i`] — nothing is clamped silently.
+    /// Intended for pipeline callers (the capacity planner) whose estimators
+    /// can wobble below `1/2` on nearly deterministic tiers, where
+    /// burstiness is irrelevant anyway. Default: disabled, so
+    /// genuinely underdispersed targets surface as
+    /// [`MapError::FitInfeasible`].
+    pub fn i_floor(mut self, enable: bool) -> Self {
+        self.floor_low_i = enable;
+        self
+    }
+
     /// Run the search.
     ///
     /// # Errors
@@ -154,6 +185,23 @@ impl Map2Fitter {
     ///   tolerance band (e.g. `I < 1/2`, unreachable by any MAP(2) built on
     ///   a two-phase marginal).
     pub fn fit(&self) -> Result<FittedMap2, MapError> {
+        // Opt-in floor for infeasibly low targets: rerun the search at the
+        // floor and record the original request instead of clamping
+        // silently. Runs before positivity validation — a deterministic
+        // tier legitimately measures I = 0, and the floor exists precisely
+        // for such callers.
+        if self.floor_low_i
+            && self.index_of_dispersion.is_finite()
+            && self.index_of_dispersion < MIN_FEASIBLE_I
+        {
+            let mut raised = self.clone();
+            raised.index_of_dispersion = MIN_FEASIBLE_I;
+            raised.floor_low_i = false;
+            let mut fitted = raised.fit()?;
+            fitted.floored_target_i = Some(self.index_of_dispersion);
+            return Ok(fitted);
+        }
+
         for (name, v) in [
             ("mean", self.mean),
             ("index_of_dispersion", self.index_of_dispersion),
@@ -203,6 +251,7 @@ impl Map2Fitter {
                 target_mean: self.mean,
                 target_i: self.index_of_dispersion,
                 target_p95: self.p95,
+                floored_target_i: None,
                 candidates: vec![cand],
             });
         }
@@ -240,22 +289,15 @@ impl Map2Fitter {
             });
         }
 
-        // Rank: p95 distance first, then (footnote 8) largest rho1 among
-        // near-ties.
-        candidates.sort_by(|a, b| {
-            let da = (a.achieved_p95 - self.p95).abs();
-            let db = (b.achieved_p95 - self.p95).abs();
-            da.partial_cmp(&db)
-                .expect("p95 distances are finite")
-                .then(b.rho1.partial_cmp(&a.rho1).expect("rho1 is finite"))
-        });
-        let best_d = (candidates[0].achieved_p95 - self.p95).abs();
-        let tie_band = best_d * 1.001 + 1e-15;
-        let chosen = *candidates
-            .iter()
-            .filter(|c| (c.achieved_p95 - self.p95).abs() <= tie_band)
-            .max_by(|a, b| a.rho1.partial_cmp(&b.rho1).expect("rho1 is finite"))
-            .expect("candidates non-empty");
+        let chosen =
+            select_candidate(&mut candidates, self.p95).ok_or_else(|| MapError::FitInfeasible {
+                reason: format!(
+                    "every candidate within ±{:.0}% of I = {} carried a non-finite \
+                     p95 or lag-1 autocorrelation",
+                    self.i_tolerance * 100.0,
+                    self.index_of_dispersion
+                ),
+            })?;
 
         let marginal = h2_with_weight(self.mean, chosen.scv, chosen.p)
             .expect("chosen candidate was constructed from a feasible marginal");
@@ -266,6 +308,7 @@ impl Map2Fitter {
             target_mean: self.mean,
             target_i: self.index_of_dispersion,
             target_p95: self.p95,
+            floored_target_i: None,
             candidates,
         })
     }
@@ -305,15 +348,51 @@ impl Map2Fitter {
         }
         let gamma = 0.5 * (lo + hi);
         let map = Map2::from_hyper_marginal(marginal, gamma).ok()?;
-        Some(Candidate {
+        let cand = Candidate {
             scv,
             p,
             gamma,
             achieved_i: map.index_of_dispersion(),
             achieved_p95: map.quantile(0.95).ok()?,
             rho1: map.lag1_correlation(),
-        })
+        };
+        // Extreme marginals can push the descriptors to NaN/inf; such a
+        // candidate must never reach the ranking stage.
+        (cand.achieved_i.is_finite() && cand.achieved_p95.is_finite() && cand.rho1.is_finite())
+            .then_some(cand)
     }
+}
+
+/// Rank candidates by p95 distance (footnote 8 of the paper: ties break
+/// toward the largest lag-1 autocorrelation) and return the winner, leaving
+/// the list sorted in selection order.
+///
+/// Candidates with a non-finite achieved `I`, p95, or `rho1` are discarded
+/// before ranking — the tuned `gamma` of an extreme marginal can push the
+/// quantile inversion or autocorrelation into NaN/inf territory, and the
+/// old comparator panicked (`.expect("p95 distances are finite")`) instead
+/// of skipping them. Returns `None` when nothing survives.
+fn select_candidate(candidates: &mut Vec<Candidate>, target_p95: f64) -> Option<Candidate> {
+    candidates
+        .retain(|c| c.achieved_i.is_finite() && c.achieved_p95.is_finite() && c.rho1.is_finite());
+    if candidates.is_empty() {
+        return None;
+    }
+    // Rank: p95 distance first, then (footnote 8) largest rho1 among
+    // near-ties. total_cmp: every retained value is finite, but the order
+    // must not be able to panic again.
+    candidates.sort_by(|a, b| {
+        let da = (a.achieved_p95 - target_p95).abs();
+        let db = (b.achieved_p95 - target_p95).abs();
+        da.total_cmp(&db).then(b.rho1.total_cmp(&a.rho1))
+    });
+    let best_d = (candidates[0].achieved_p95 - target_p95).abs();
+    let tie_band = best_d * 1.001 + 1e-15;
+    candidates
+        .iter()
+        .filter(|c| (c.achieved_p95 - target_p95).abs() <= tie_band)
+        .max_by(|a, b| a.rho1.total_cmp(&b.rho1))
+        .copied()
 }
 
 /// A renewal MAP(2) (i.i.d. inter-event times) with the given two-phase
@@ -372,9 +451,18 @@ fn h2_with_weight(m: f64, c2: f64, p: f64) -> Option<Ph2> {
 /// stopping rule (the paper's illustrative 0.2) cuts the climb short and
 /// underestimates `I`.
 ///
+/// The estimated index of dispersion is passed to the fitter **unmodified**:
+/// a genuinely underdispersed trace (`I` at or below the `1/2` floor of
+/// two-phase processes) surfaces as [`MapError::FitInfeasible`] instead of
+/// being silently clamped to the floor, which used to hide the evidence
+/// that the trace is *less* variable than any MAP(2) this family can
+/// produce. Callers that prefer a best-effort floor can run [`Map2Fitter`]
+/// themselves with [`Map2Fitter::i_floor`], which records the adjustment.
+///
 /// # Errors
 /// Propagates estimation errors (trace too short for the Figure 2 algorithm)
-/// as [`MapError::FitInfeasible`], plus fitting errors.
+/// and underdispersed traces as [`MapError::FitInfeasible`], plus fitting
+/// errors.
 pub fn fit_from_trace(
     service_times: &[f64],
     window: f64,
@@ -394,7 +482,16 @@ pub fn fit_from_trace(
             reason: e.to_string(),
         }
     })?;
-    Map2Fitter::new(mean, est.index_of_dispersion().max(0.51), p95).fit()
+    let i = est.index_of_dispersion();
+    if !(i > 0.0) || !i.is_finite() {
+        return Err(MapError::FitInfeasible {
+            reason: format!(
+                "estimated index of dispersion {i} is outside the MAP(2) feasible range \
+                 (the trace's counting process is effectively deterministic)"
+            ),
+        });
+    }
+    Map2Fitter::new(mean, i, p95).fit()
 }
 
 #[cfg(test)]
@@ -541,5 +638,112 @@ mod tests {
     #[test]
     fn fit_from_trace_rejects_tiny_trace() {
         assert!(fit_from_trace(&[1.0, 2.0, 1.5], 1.0, 0.2).is_err());
+    }
+
+    fn cand(p95: f64, rho1: f64) -> Candidate {
+        Candidate {
+            scv: 4.0,
+            p: 0.7,
+            gamma: 0.5,
+            achieved_i: 10.0,
+            achieved_p95: p95,
+            rho1,
+        }
+    }
+
+    #[test]
+    fn selection_discards_non_finite_candidates() {
+        // Regression for the `.expect("p95 distances are finite")` panic:
+        // a NaN p95 or rho1 used to poison the sort comparator; it must be
+        // filtered out, not crash the fit.
+        let mut list = vec![
+            cand(f64::NAN, 0.1),
+            cand(3.0, 0.2),
+            cand(f64::INFINITY, 0.3),
+            cand(2.9, f64::NAN),
+            cand(2.5, 0.05),
+        ];
+        let chosen = select_candidate(&mut list, 2.6).unwrap();
+        assert_eq!(chosen.achieved_p95, 2.5);
+        assert_eq!(list.len(), 2, "non-finite candidates must be dropped");
+        assert!(list
+            .iter()
+            .all(|c| c.achieved_p95.is_finite() && c.rho1.is_finite()));
+    }
+
+    #[test]
+    fn selection_of_only_non_finite_candidates_is_none() {
+        // If nothing survives the finiteness filter the fit must surface
+        // FitInfeasible (select_candidate returns None), not panic.
+        let mut list = vec![cand(f64::NAN, 0.1), cand(1.0, f64::INFINITY)];
+        assert!(select_candidate(&mut list, 2.0).is_none());
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn selection_tie_break_still_prefers_larger_rho1() {
+        let mut list = vec![cand(3.0, 0.1), cand(3.0, 0.4), cand(5.0, 0.9)];
+        let chosen = select_candidate(&mut list, 3.0).unwrap();
+        assert_eq!(chosen.rho1, 0.4);
+    }
+
+    #[test]
+    fn i_floor_records_the_adjustment() {
+        // Opt-in floor: an infeasible target is raised to MIN_FEASIBLE_I and
+        // the original request is preserved in the diagnostics.
+        let fitted = Map2Fitter::new(1.0, 0.2, 1.5).i_floor(true).fit().unwrap();
+        assert_eq!(fitted.floored_target_i(), Some(0.2));
+        assert!((fitted.map().index_of_dispersion() - MIN_FEASIBLE_I).abs() < 0.05);
+        // Even I = 0 (a deterministic tier) is accepted with the floor —
+        // the planner's estimators produce exactly that on constant counts.
+        let zero = Map2Fitter::new(1.0, 0.0, 1.5).i_floor(true).fit().unwrap();
+        assert_eq!(zero.floored_target_i(), Some(0.0));
+        // NaN is still a hard parameter error, floor or not.
+        assert!(Map2Fitter::new(1.0, f64::NAN, 1.5)
+            .i_floor(true)
+            .fit()
+            .is_err());
+        // Feasible targets pass through unflagged, floor enabled or not.
+        let ok = Map2Fitter::new(1.0, 0.7, 2.0).i_floor(true).fit().unwrap();
+        assert_eq!(ok.floored_target_i(), None);
+        let plain = Map2Fitter::new(1.0, 40.0, 3.0).fit().unwrap();
+        assert_eq!(plain.floored_target_i(), None);
+        // Without the opt-in, the same infeasible target still errors.
+        assert!(matches!(
+            Map2Fitter::new(1.0, 0.2, 1.5).fit(),
+            Err(MapError::FitInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_from_trace_surfaces_underdispersed_traces() {
+        // A deterministic trace has I = 0: any MAP(2) is *more* variable,
+        // and the old `.max(0.51)` clamp hid that. It must now fail loudly.
+        let trace = vec![1.0; 40_000];
+        match fit_from_trace(&trace, 25.0, 0.2) {
+            Err(MapError::FitInfeasible { reason }) => {
+                assert!(
+                    reason.contains("index of dispersion") || reason.contains("I ="),
+                    "reason should name the dispersion: {reason}"
+                );
+            }
+            other => panic!("expected FitInfeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fit_from_trace_accepts_feasible_low_variability() {
+        // Just above the boundary: an i.i.d. hypoexponential trace with
+        // SCV ~ 0.7 has I ~ 0.7 > 1/2 and must fit (via the renewal
+        // branch), with no floor adjustment recorded.
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let ph = Ph2::from_mean_scv(1.0, 0.7).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trace: Vec<f64> = (0..200_000).map(|_| ph.sample(&mut rng)).collect();
+        let fitted = fit_from_trace(&trace, 30.0, 0.1).unwrap();
+        assert_eq!(fitted.floored_target_i(), None);
+        let i = fitted.map().index_of_dispersion();
+        assert!((0.4..1.1).contains(&i), "refit I = {i}, expected ~0.7");
     }
 }

@@ -1,4 +1,5 @@
-//! The paper's analytic model: a closed MAP queueing network.
+//! The paper's analytic model, generalized: a closed network of `M` MAP(2)
+//! queues plus a think stage.
 //!
 //! Figure 9 of the paper models the multi-tier system as a closed network of
 //! two queues (front server, database server) and a delay (think) stage.
@@ -6,28 +7,42 @@
 //! processes** and solves the model exactly "by building the underlying
 //! Markov chain and solving the system of linear equations".
 //!
-//! [`MapNetwork`] builds exactly that CTMC. A state is
-//! `(n_front, n_db, phase_front, phase_db)` with `n_front + n_db <= N`; the
-//! remaining customers are thinking. Each server's MAP evolves only while its
-//! queue is non-empty (frozen-when-idle semantics, matched bit-for-bit by the
+//! [`MapNetwork`] builds that CTMC for an arbitrary **tandem of `M`
+//! stations** (think → station 1 → … → station M → think); the paper's
+//! two-tier model is the `M = 2` instance and keeps its dedicated
+//! constructor [`MapNetwork::new`]. A state is the pair of vectors
+//! `(n_1..n_M, phase_1..phase_M)` with `n_1 + … + n_M <= N`; the remaining
+//! customers are thinking. Each server's MAP evolves only while its queue is
+//! non-empty (frozen-when-idle semantics, matched bit-for-bit by the
 //! discrete-event simulator in `burstcap-sim`).
+//!
+//! # State space
+//!
+//! Occupancy vectors are ranked lexicographically with the combinatorial
+//! number system (`C(b + d, d)` tables, O(M) per lookup), phases innermost;
+//! for `M = 2` this reproduces the historical `(n_front, n_db, phase_f,
+//! phase_d)` enumeration exactly, so CSR assembly is bit-identical to the
+//! two-tier original. The chain has `C(N + M, M) * 2^M` states.
 //!
 //! # Solver
 //!
 //! Fitted bursty MAPs have phase-persistence `gamma` extremely close to 1,
 //! which makes the CTMC *nearly completely decomposable* — the regime where
 //! sweep methods (Gauss-Seidel, power iteration) stall. The network, however,
-//! is **block tridiagonal** in the level `l = n_front + n_db`: think
-//! completions move up one level, database completions move down one, and
-//! front completions stay within a level. [`MapNetwork::solve`] therefore
-//! uses exact block Gaussian elimination over levels (linear level reduction,
-//! the finite-QBD direct method), which is immune to stiffness and costs
-//! `O(N^4)` time for population `N` — seconds at `N = 150`.
+//! is **block tridiagonal** in the level `l = n_1 + … + n_M`: think
+//! completions move up one level, last-station completions move down one,
+//! and every other transition (hidden phase changes, station `i → i + 1`
+//! hand-offs) stays within a level. [`MapNetwork::solve`] therefore uses
+//! exact block Gaussian elimination over levels (linear level reduction, the
+//! finite-QBD direct method), which is immune to stiffness; the two-station
+//! specialization is preserved verbatim as
+//! [`MapNetwork::solve_two_station_reference`] and serves as the `M = 2`
+//! oracle for the generic code.
 //!
 //! For large populations with moderate stiffness the **sparse engine** is
 //! the faster route: [`MapNetwork::outgoing_csr`] assembles the generator
 //! straight into compressed sparse row form (no triplet list — each state
-//! has at most six outgoing transitions), and
+//! has at most `2 + 3M` outgoing transitions), and
 //! [`MapNetwork::solve_sparse`] / [`MapNetwork::solve_iterative`] run the
 //! CSR-backed Gauss-Seidel or uniformized power iteration of
 //! [`crate::ctmc`] on it. The dense LU oracle remains available through
@@ -45,33 +60,44 @@ use crate::QnError;
 pub const DEFAULT_STATE_LIMIT: usize = 2_000_000;
 
 /// Default state-count crossover for [`MapNetwork::solve_auto`]: below this
-/// the `O(N^4)` direct level-reduction is faster, above it the sparse CSR
-/// engine wins (measured on MAP(2)×MAP(2) networks; the exact crossover
-/// varies a little with stiffness).
+/// the direct level-reduction is faster, above it the sparse CSR engine wins
+/// (measured on MAP(2)×MAP(2) networks; the exact crossover varies a little
+/// with stiffness and station count).
 pub const AUTO_SPARSE_THRESHOLD: usize = 10_000;
 
-/// Closed network: think (exp) → front queue (MAP2) → DB queue (MAP2).
+/// Closed tandem network: think (exp) → station 1 (MAP2) → … → station M
+/// (MAP2) → think.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MapNetwork {
     population: usize,
     think_time: f64,
-    front: Map2,
-    db: Map2,
+    stations: Vec<Map2>,
     state_limit: usize,
 }
 
 /// Exact steady-state metrics of a [`MapNetwork`].
+///
+/// Per-station metrics live in the `utilization` / `mean_jobs` vectors
+/// (station order = tandem order). The scalar `*_front` / `*_db` fields
+/// mirror the **first** and **last** station for continuity with the
+/// paper's two-tier model; for `M = 2` they are exactly the historical
+/// fields.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MapQnSolution {
-    /// System throughput (database completions per second).
+    /// System throughput (last-station completions per second).
     pub throughput: f64,
-    /// Front-server utilization (probability the front queue is busy).
+    /// Per-station utilization (probability the station is busy), in tandem
+    /// order.
+    pub utilization: Vec<f64>,
+    /// Per-station mean number of resident requests, in tandem order.
+    pub mean_jobs: Vec<f64>,
+    /// First-station utilization (`utilization[0]`).
     pub utilization_front: f64,
-    /// Database utilization.
+    /// Last-station utilization (`utilization[M - 1]`).
     pub utilization_db: f64,
-    /// Mean number of requests at the front tier.
+    /// Mean number of requests at the first station (`mean_jobs[0]`).
     pub mean_jobs_front: f64,
-    /// Mean number of requests at the database tier.
+    /// Mean number of requests at the last station (`mean_jobs[M - 1]`).
     pub mean_jobs_db: f64,
     /// Mean response time of one think-to-think pass (Little's law).
     pub response_time: f64,
@@ -79,12 +105,147 @@ pub struct MapQnSolution {
     pub states: usize,
 }
 
+/// Combinatorial ranking of occupancy vectors (the combinatorial number
+/// system over `cum[d][b] = C(b + d, d)`, the count of `d`-component
+/// occupancy vectors with total at most `b`).
+struct StateIndexer {
+    n: usize,
+    phases: usize,
+    cum: Vec<Vec<usize>>,
+}
+
+impl StateIndexer {
+    fn new(n: usize, m: usize) -> Self {
+        // cum[0][b] = 1; C(b + d, d) = C(b - 1 + d, d) + C(b + d - 1, d - 1).
+        // Saturating: an overflowing table entry can only be reached by a
+        // state space the limit check rejects anyway.
+        let mut cum = vec![vec![1usize; n + 1]; m + 1];
+        for d in 1..=m {
+            for b in 0..=n {
+                let left = if b == 0 { 0 } else { cum[d][b - 1] };
+                cum[d][b] = left.saturating_add(cum[d - 1][b]);
+            }
+        }
+        StateIndexer {
+            n,
+            phases: 1usize << m,
+            cum,
+        }
+    }
+
+    /// Lexicographic rank of `occ` among all occupancy vectors with total at
+    /// most `n`.
+    fn occ_rank(&self, occ: &[usize]) -> usize {
+        let m = occ.len();
+        let mut r = 0;
+        let mut b = self.n;
+        for (i, &o) in occ.iter().enumerate() {
+            let d = m - i;
+            r += self.cum[d][b] - self.cum[d][b - o];
+            b -= o;
+        }
+        r
+    }
+
+    /// Lexicographic rank of `comp` among the compositions of its own total
+    /// (the within-level local index, before the phase factor).
+    fn comp_rank(&self, comp: &[usize]) -> usize {
+        let m = comp.len();
+        let mut r = 0;
+        let mut s: usize = comp.iter().sum();
+        for i in 0..m.saturating_sub(1) {
+            let d = m - i;
+            // Compositions with a smaller component here: for each k <
+            // comp[i], the remaining d-1 components sum to s - k freely.
+            r += self.cum[d - 1][s] - self.cum[d - 1][s - comp[i]];
+            s -= comp[i];
+        }
+        r
+    }
+
+    /// Flat CTMC index of the state `(occ, phase)`. The hot paths keep the
+    /// occupancy base and phase offset separate; this composed form serves
+    /// the indexing tests.
+    #[cfg(test)]
+    fn flat_index(&self, occ: &[usize], phase: usize) -> usize {
+        self.occ_rank(occ) * self.phases + phase
+    }
+}
+
+/// All compositions of `total` into `m` parts, lexicographic order (the
+/// within-level enumeration).
+fn compositions(total: usize, m: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut scratch = vec![0usize; m];
+    fill_compositions(total, 0, &mut scratch, &mut out);
+    out
+}
+
+fn fill_compositions(rest: usize, dim: usize, scratch: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if dim + 1 == scratch.len() {
+        scratch[dim] = rest;
+        out.push(scratch.clone());
+        return;
+    }
+    for k in 0..=rest {
+        scratch[dim] = k;
+        fill_compositions(rest - k, dim + 1, scratch, out);
+    }
+}
+
+/// Phase index helpers: station `i`'s phase bit sits at `m - 1 - i` (station
+/// 0 is the most significant bit, matching the historical `p_f * 2 + p_d`
+/// layout for `M = 2`).
+#[inline]
+fn phase_of(q: usize, i: usize, m: usize) -> usize {
+    (q >> (m - 1 - i)) & 1
+}
+
+#[inline]
+fn with_phase(q: usize, i: usize, j: usize, m: usize) -> usize {
+    (q & !(1 << (m - 1 - i))) | (j << (m - 1 - i))
+}
+
 impl MapNetwork {
-    /// Configure the network.
+    /// Configure the paper's two-tier network (think → front → db → think):
+    /// the `M = 2` tandem.
     ///
     /// # Errors
     /// Rejects a zero population and non-positive think times.
     pub fn new(population: usize, think_time: f64, front: Map2, db: Map2) -> Result<Self, QnError> {
+        Self::tandem(population, think_time, vec![front, db])
+    }
+
+    /// Configure a tandem of `M` MAP(2) stations: think completions enter
+    /// station 1, station `i` completions move to station `i + 1`, and the
+    /// last station's completions return to the think stage.
+    ///
+    /// # Errors
+    /// Rejects a zero population, non-positive think times, and an empty
+    /// station list.
+    ///
+    /// # Example
+    /// ```
+    /// use burstcap_map::Map2;
+    /// use burstcap_qn::mapqn::MapNetwork;
+    ///
+    /// // Three-tier (web + app + db) network with exponential services.
+    /// let stations = vec![
+    ///     Map2::poisson(1.0 / 0.004)?,
+    ///     Map2::poisson(1.0 / 0.010)?,
+    ///     Map2::poisson(1.0 / 0.006)?,
+    /// ];
+    /// let sol = MapNetwork::tandem(1, 0.5, stations)?.solve()?;
+    /// let expect = 1.0 / (0.5 + 0.004 + 0.010 + 0.006);
+    /// assert!((sol.throughput - expect).abs() / expect < 1e-9);
+    /// assert_eq!(sol.utilization.len(), 3);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn tandem(
+        population: usize,
+        think_time: f64,
+        stations: Vec<Map2>,
+    ) -> Result<Self, QnError> {
         if population == 0 {
             return Err(QnError::InvalidParameter {
                 name: "population",
@@ -97,11 +258,16 @@ impl MapNetwork {
                 reason: format!("must be positive and finite, got {think_time}"),
             });
         }
+        if stations.is_empty() {
+            return Err(QnError::InvalidParameter {
+                name: "stations",
+                reason: "need at least one MAP station".into(),
+            });
+        }
         Ok(MapNetwork {
             population,
             think_time,
-            front,
-            db,
+            stations,
             state_limit: DEFAULT_STATE_LIMIT,
         })
     }
@@ -112,11 +278,19 @@ impl MapNetwork {
         self
     }
 
-    /// Number of CTMC states for this population:
-    /// `(N+1)(N+2)/2 * 4` phase combinations.
+    /// Number of CTMC states for this population and station count:
+    /// `C(N + M, M) * 2^M` (for `M = 2` this is `(N+1)(N+2)/2 * 4`).
     pub fn state_count(&self) -> usize {
+        let m = self.stations.len();
         let n = self.population;
-        (n + 1) * (n + 2) / 2 * 4
+        // C(n + m, m) built incrementally: after step i the product is the
+        // integer C(n + i, i). Saturating so absurd inputs trip the limit
+        // check instead of wrapping.
+        let mut c: usize = 1;
+        for i in 1..=m {
+            c = c.saturating_mul(n + i) / i;
+        }
+        c.saturating_mul(1usize << m)
     }
 
     /// The configured population.
@@ -129,28 +303,309 @@ impl MapNetwork {
         self.think_time
     }
 
+    /// The configured stations, in tandem order.
+    pub fn stations(&self) -> &[Map2] {
+        &self.stations
+    }
+
+    /// Station count `M`.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    fn check_state_limit(&self) -> Result<usize, QnError> {
+        let states = self.state_count();
+        if states > self.state_limit {
+            return Err(QnError::StateSpaceTooLarge {
+                states,
+                limit: self.state_limit,
+            });
+        }
+        Ok(states)
+    }
+
     // ------------------------------------------------------------------
     // Level-structured representation.
     //
-    // Level l holds the states with n_front + n_db = l. The local index of
-    // (n_front, phase_f, phase_d) is n_front * 4 + phase_f * 2 + phase_d,
-    // independent of the level, so the "up" map (think completion, which
-    // increments n_front) shifts the local index by exactly 4 in the larger
-    // level.
+    // Level l holds the states with n_1 + … + n_M = l. The local index of
+    // (comp, phases) is comp_rank * 2^M + phase_index, independent of the
+    // level; the "up" map (think completion, which increments n_1) sends a
+    // local index to the rank of the incremented composition one level up,
+    // phases unchanged.
     // ------------------------------------------------------------------
 
-    fn level_size(level: usize) -> usize {
-        4 * (level + 1)
+    /// Within-level block `A0_l` over the given level compositions,
+    /// including the full exit rates on the diagonal (up, down, and
+    /// within-level transitions all drain it).
+    fn a0(&self, level: usize, comps: &[Vec<usize>], idx: &StateIndexer) -> Vec<f64> {
+        let m = self.stations.len();
+        let phases = idx.phases;
+        let size = comps.len() * phases;
+        let mut a = vec![0.0; size * size];
+        let up_rate = if level < self.population {
+            (self.population - level) as f64 / self.think_time
+        } else {
+            0.0
+        };
+        let mut scratch = vec![0usize; m];
+        // Phase-independent hand-off destinations (job at station i moves
+        // to i + 1 within the level), hoisted out of the phase loop.
+        let mut within_dst = vec![usize::MAX; m];
+        for (ci, comp) in comps.iter().enumerate() {
+            for i in 0..m {
+                within_dst[i] = if comp[i] > 0 && i + 1 < m {
+                    scratch.copy_from_slice(comp);
+                    scratch[i] -= 1;
+                    scratch[i + 1] += 1;
+                    idx.comp_rank(&scratch)
+                } else {
+                    usize::MAX
+                };
+            }
+            for q in 0..phases {
+                let s = ci * phases + q;
+                let mut exit = up_rate;
+                for i in 0..m {
+                    if comp[i] == 0 {
+                        continue;
+                    }
+                    let p = phase_of(q, i, m);
+                    let d0 = self.stations[i].d0();
+                    exit += -d0[p][p];
+                    // Hidden phase change at station i.
+                    let hidden = d0[p][1 - p];
+                    if hidden > 0.0 {
+                        a[s * size + (ci * phases + with_phase(q, i, 1 - p, m))] += hidden;
+                    }
+                    // Completions at stations before the last stay within
+                    // the level: the job moves to station i + 1.
+                    if i + 1 < m {
+                        let cdst = within_dst[i];
+                        for (j, &rate) in self.stations[i].d1()[p].iter().enumerate() {
+                            if rate > 0.0 {
+                                a[s * size + (cdst * phases + with_phase(q, i, j, m))] += rate;
+                            }
+                        }
+                    }
+                    // Last-station completions leave the level (see adown).
+                }
+                a[s * size + s] -= exit;
+            }
+        }
+        a
     }
 
-    /// Within-level block `A0_l`, including the full exit rates on the
-    /// diagonal (up, down, and within-level transitions all drain it).
-    fn a0(&self, level: usize) -> Vec<f64> {
-        let m = Self::level_size(level);
+    /// Down-transitions from `level` to `level - 1` as sparse triples
+    /// `(local_from, local_to, rate)`: last-station completions.
+    fn adown(
+        &self,
+        level: usize,
+        comps: &[Vec<usize>],
+        idx: &StateIndexer,
+    ) -> Vec<(usize, usize, f64)> {
+        debug_assert!(level >= 1);
+        let m = self.stations.len();
+        let phases = idx.phases;
+        let last = m - 1;
+        let d1 = self.stations[last].d1();
+        let mut tr = Vec::new();
+        for (ci, comp) in comps.iter().enumerate() {
+            if comp[last] == 0 {
+                continue;
+            }
+            let mut dst = comp.clone();
+            dst[last] -= 1;
+            let cdst = idx.comp_rank(&dst);
+            for q in 0..phases {
+                let p = phase_of(q, last, m);
+                let s = ci * phases + q;
+                for (j, &rate) in d1[p].iter().enumerate() {
+                    if rate > 0.0 {
+                        tr.push((s, cdst * phases + with_phase(q, last, j, m), rate));
+                    }
+                }
+            }
+        }
+        tr
+    }
+
+    /// Solve the network exactly by block Gaussian elimination over levels
+    /// (the finite-QBD direct method — immune to stiffness; `O(N^4)` time
+    /// for two stations, with level blocks growing as `C(l + M - 1, M - 1)`
+    /// for larger tandems).
+    ///
+    /// # Errors
+    /// Refuses state spaces beyond the configured limit and propagates
+    /// numerical failures (singular level blocks, impossible for valid
+    /// MAPs).
+    ///
+    /// # Example
+    /// ```
+    /// use burstcap_map::Map2;
+    /// use burstcap_qn::mapqn::MapNetwork;
+    ///
+    /// // N = 1 has the closed form X = 1 / (Z + S_front + S_db).
+    /// let net = MapNetwork::new(1, 0.5, Map2::poisson(100.0)?, Map2::poisson(50.0)?)?;
+    /// let sol = net.solve()?;
+    /// let expect = 1.0 / (0.5 + 0.01 + 0.02);
+    /// assert!((sol.throughput - expect).abs() / expect < 1e-9);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn solve(&self) -> Result<MapQnSolution, QnError> {
+        self.check_state_limit()?;
+        let n = self.population;
+        let z = self.think_time;
+        let m = self.stations.len();
+        let idx = StateIndexer::new(n, m);
+        let phases = idx.phases;
+        let comps: Vec<Vec<Vec<usize>>> = (0..=n).map(|l| compositions(l, m)).collect();
+
+        // Up map: composition rank one level up after a think completion
+        // (station 1 gains a job, phases unchanged).
+        let up_comp: Vec<Vec<usize>> = (0..n)
+            .map(|l| {
+                comps[l]
+                    .iter()
+                    .map(|c| {
+                        let mut c2 = c.clone();
+                        c2[0] += 1;
+                        idx.comp_rank(&c2)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Backward pass: S_N = A0_N; S_l = A0_l + U_l * Adown_{l+1} where
+        // U_l = nu_l * inv(-S_{l+1})[up rows].
+        let mut s = self.a0(n, &comps[n], &idx);
+        let mut u_blocks: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for level in (0..n).rev() {
+            let m_next = comps[level + 1].len() * phases;
+            let m_l = comps[level].len() * phases;
+            // inv(-S_{l+1})
+            let mut neg = s;
+            for x in neg.iter_mut() {
+                *x = -*x;
+            }
+            let inv = invert_flat(&mut neg, m_next).ok_or(QnError::InvalidParameter {
+                name: "network",
+                reason: format!("singular level block at level {}", level + 1),
+            })?;
+            let nu = (n - level) as f64 / z;
+            let mut u = vec![0.0; m_l * m_next];
+            for r in 0..m_l {
+                let src_row = up_comp[level][r / phases] * phases + r % phases;
+                let dst = r * m_next;
+                let src = src_row * m_next;
+                u[dst..dst + m_next].copy_from_slice(&inv[src..src + m_next]);
+                for x in &mut u[dst..dst + m_next] {
+                    *x *= nu;
+                }
+            }
+            // S_l = A0_l + U * Adown_{l+1}.
+            let mut s_l = self.a0(level, &comps[level], &idx);
+            for &(row_next, col_l, rate) in &self.adown(level + 1, &comps[level + 1], &idx) {
+                for r in 0..m_l {
+                    s_l[r * m_l + col_l] += u[r * m_next + row_next] * rate;
+                }
+            }
+            u_blocks.push(u);
+            s = s_l;
+        }
+        u_blocks.reverse();
+
+        // pi_0 S_0 = 0 with normalization: 2^M x 2^M nullspace solve.
+        let pi0 = left_null_vector(&s, phases).ok_or(QnError::InvalidParameter {
+            name: "network",
+            reason: "level-0 block has no stationary vector".into(),
+        })?;
+
+        let levels = forward_pass(pi0, &u_blocks, |l| comps[l].len() * phases)?;
+        Ok(self.metrics_from_levels(&levels, &comps))
+    }
+
+    /// The preserved two-station direct solver — the exact code path the
+    /// two-tier model shipped with, kept as the `M = 2` **oracle** for the
+    /// generic level reduction (property tests require agreement within
+    /// `1e-10`).
+    ///
+    /// # Errors
+    /// Rejects networks with a station count other than 2; otherwise as
+    /// [`MapNetwork::solve`].
+    pub fn solve_two_station_reference(&self) -> Result<MapQnSolution, QnError> {
+        if self.stations.len() != 2 {
+            return Err(QnError::InvalidParameter {
+                name: "stations",
+                reason: format!(
+                    "two-station reference solver requires M = 2, got {}",
+                    self.stations.len()
+                ),
+            });
+        }
+        self.check_state_limit()?;
+        let n = self.population;
+        let z = self.think_time;
+        let level_size = |level: usize| 4 * (level + 1);
+
+        // Backward pass, specialized: the up map is a fixed +4 shift of the
+        // local index.
+        let mut s = self.a0_two_station(n);
+        let mut u_blocks: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for level in (0..n).rev() {
+            let m_next = level_size(level + 1);
+            let m_l = level_size(level);
+            let mut neg = s;
+            for x in neg.iter_mut() {
+                *x = -*x;
+            }
+            let inv = invert_flat(&mut neg, m_next).ok_or(QnError::InvalidParameter {
+                name: "network",
+                reason: format!("singular level block at level {}", level + 1),
+            })?;
+            let nu = (n - level) as f64 / z;
+            let mut u = vec![0.0; m_l * m_next];
+            for r in 0..m_l {
+                // Think completion: (n_f, p_f, p_d) at level l jumps to
+                // (n_f + 1, p_f, p_d) at level l+1 — local index r + 4.
+                let dst = r * m_next;
+                let src = (r + 4) * m_next;
+                u[dst..dst + m_next].copy_from_slice(&inv[src..src + m_next]);
+                for x in &mut u[dst..dst + m_next] {
+                    *x *= nu;
+                }
+            }
+            let mut s_l = self.a0_two_station(level);
+            for &(row_next, col_l, rate) in &self.adown_two_station(level + 1) {
+                for r in 0..m_l {
+                    s_l[r * m_l + col_l] += u[r * m_next + row_next] * rate;
+                }
+            }
+            u_blocks.push(u);
+            s = s_l;
+        }
+        u_blocks.reverse();
+
+        let pi0 = left_null_vector(&s, 4).ok_or(QnError::InvalidParameter {
+            name: "network",
+            reason: "level-0 block has no stationary vector".into(),
+        })?;
+
+        let levels = forward_pass(pi0, &u_blocks, level_size)?;
+        // The specialized local layout n_f * 4 + p_f * 2 + p_d coincides
+        // with the generic comp_rank * 4 + phase layout, so metric
+        // extraction is shared.
+        let comps: Vec<Vec<Vec<usize>>> = (0..=n).map(|l| compositions(l, 2)).collect();
+        Ok(self.metrics_from_levels(&levels, &comps))
+    }
+
+    /// Within-level block of the two-station specialization (historical
+    /// code, bit-for-bit).
+    fn a0_two_station(&self, level: usize) -> Vec<f64> {
+        let m = 4 * (level + 1);
         let mut a = vec![0.0; m * m];
-        let d0f = self.front.d0();
-        let d1f = self.front.d1();
-        let d0d = self.db.d0();
+        let d0f = self.stations[0].d0();
+        let d1f = self.stations[0].d1();
+        let d0d = self.stations[1].d0();
         let up_rate = if level < self.population {
             (self.population - level) as f64 / self.think_time
         } else {
@@ -191,11 +646,10 @@ impl MapNetwork {
         a
     }
 
-    /// Down-transitions from `level` to `level - 1` as sparse triples
-    /// `(local_from, local_to, rate)`: database completions.
-    fn adown(&self, level: usize) -> Vec<(usize, usize, f64)> {
+    /// Down-transitions of the two-station specialization.
+    fn adown_two_station(&self, level: usize) -> Vec<(usize, usize, f64)> {
         debug_assert!(level >= 1);
-        let d1d = self.db.d1();
+        let d1d = self.stations[1].d1();
         let mut tr = Vec::new();
         for n_f in 0..=level {
             let n_d = level - n_f;
@@ -214,130 +668,6 @@ impl MapNetwork {
             }
         }
         tr
-    }
-
-    /// Solve the network exactly by block Gaussian elimination over levels
-    /// (the finite-QBD direct method — immune to stiffness, `O(N^4)` time).
-    ///
-    /// # Errors
-    /// Refuses state spaces beyond the configured limit and propagates
-    /// numerical failures (singular level blocks, impossible for valid
-    /// MAPs).
-    ///
-    /// # Example
-    /// ```
-    /// use burstcap_map::Map2;
-    /// use burstcap_qn::mapqn::MapNetwork;
-    ///
-    /// // N = 1 has the closed form X = 1 / (Z + S_front + S_db).
-    /// let net = MapNetwork::new(1, 0.5, Map2::poisson(100.0)?, Map2::poisson(50.0)?)?;
-    /// let sol = net.solve()?;
-    /// let expect = 1.0 / (0.5 + 0.01 + 0.02);
-    /// assert!((sol.throughput - expect).abs() / expect < 1e-9);
-    /// # Ok::<(), Box<dyn std::error::Error>>(())
-    /// ```
-    pub fn solve(&self) -> Result<MapQnSolution, QnError> {
-        let states = self.state_count();
-        if states > self.state_limit {
-            return Err(QnError::StateSpaceTooLarge {
-                states,
-                limit: self.state_limit,
-            });
-        }
-        let n = self.population;
-        let z = self.think_time;
-
-        // Backward pass: S_N = A0_N; S_l = A0_l + U_l * Adown_{l+1} where
-        // U_l = nu_l * inv(-S_{l+1})[0..m_l rows].
-        let mut s = self.a0(n);
-        let mut u_blocks: Vec<Vec<f64>> = Vec::with_capacity(n);
-        for level in (0..n).rev() {
-            let m_next = Self::level_size(level + 1);
-            let m_l = Self::level_size(level);
-            // inv(-S_{l+1})
-            let mut neg = s;
-            for x in neg.iter_mut() {
-                *x = -*x;
-            }
-            let inv = invert_flat(&mut neg, m_next).ok_or(QnError::InvalidParameter {
-                name: "network",
-                reason: format!("singular level block at level {}", level + 1),
-            })?;
-            let nu = (n - level) as f64 / z;
-            let mut u = vec![0.0; m_l * m_next];
-            for r in 0..m_l {
-                // Think completion: (n_f, p_f, p_d) at level l jumps to
-                // (n_f + 1, p_f, p_d) at level l+1 — local index r + 4.
-                let dst = r * m_next;
-                let src = (r + 4) * m_next;
-                u[dst..dst + m_next].copy_from_slice(&inv[src..src + m_next]);
-                for x in &mut u[dst..dst + m_next] {
-                    *x *= nu;
-                }
-            }
-            // S_l = A0_l + U * Adown_{l+1}.
-            let mut s_l = self.a0(level);
-            for &(row_next, col_l, rate) in &self.adown(level + 1) {
-                for r in 0..m_l {
-                    s_l[r * m_l + col_l] += u[r * m_next + row_next] * rate;
-                }
-            }
-            u_blocks.push(u);
-            s = s_l;
-        }
-        u_blocks.reverse();
-
-        // pi_0 S_0 = 0 with normalization: 4x4 nullspace solve.
-        let pi0 = left_null_vector(&s, 4).ok_or(QnError::InvalidParameter {
-            name: "network",
-            reason: "level-0 block has no stationary vector".into(),
-        })?;
-
-        // Forward pass: pi_{l+1} = pi_l U_l.
-        let mut levels: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-        levels.push(pi0);
-        for (level, u) in u_blocks.iter().enumerate() {
-            let m_l = Self::level_size(level);
-            let m_next = Self::level_size(level + 1);
-            let prev = &levels[level];
-            let mut next = vec![0.0; m_next];
-            for r in 0..m_l {
-                let w = prev[r];
-                if w == 0.0 {
-                    continue;
-                }
-                let row = &u[r * m_next..(r + 1) * m_next];
-                for (c, &val) in row.iter().enumerate() {
-                    next[c] += w * val;
-                }
-            }
-            levels.push(next);
-        }
-
-        // Normalize across all levels (clip the tiny negatives roundoff can
-        // leave in near-zero entries).
-        let mut total = 0.0;
-        for level in levels.iter_mut() {
-            for x in level.iter_mut() {
-                if *x < 0.0 {
-                    *x = 0.0;
-                }
-                total += *x;
-            }
-        }
-        if !(total > 0.0) {
-            return Err(QnError::InvalidParameter {
-                name: "network",
-                reason: "stationary vector has no mass".into(),
-            });
-        }
-        for level in levels.iter_mut() {
-            for x in level.iter_mut() {
-                *x /= total;
-            }
-        }
-
-        Ok(self.metrics_from_levels(&levels))
     }
 
     /// Solve via the generic sparse-CTMC path with an iterative (or dense)
@@ -368,29 +698,10 @@ impl MapNetwork {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn solve_iterative(&self, method: SteadyStateMethod) -> Result<MapQnSolution, QnError> {
-        let states = self.state_count();
-        if states > self.state_limit {
-            return Err(QnError::StateSpaceTooLarge {
-                states,
-                limit: self.state_limit,
-            });
-        }
+        self.check_state_limit()?;
         let chain = Ctmc::from_outgoing_csr(self.outgoing_csr()?)?;
         let pi = chain.steady_state(method)?;
-        // Re-bucket the flat vector into levels for metric extraction.
-        let n = self.population;
-        let mut levels: Vec<Vec<f64>> = (0..=n).map(|l| vec![0.0; Self::level_size(l)]).collect();
-        for n_f in 0..=n {
-            for n_d in 0..=(n - n_f) {
-                for p_f in 0..2 {
-                    for p_d in 0..2 {
-                        let flat = self.flat_index(n_f, n_d, p_f, p_d);
-                        levels[n_f + n_d][n_f * 4 + p_f * 2 + p_d] = pi[flat];
-                    }
-                }
-            }
-        }
-        Ok(self.metrics_from_levels(&levels))
+        Ok(self.metrics_from_flat(&pi))
     }
 
     /// Solve via the sparse engine with production tuning: Gauss-Seidel at a
@@ -398,10 +709,10 @@ impl MapNetwork {
     /// oracle to ~1e-8 on well-conditioned models.
     ///
     /// Prefer this over [`MapNetwork::solve`] when the state space is large
-    /// (the direct level-reduction is `O(N^4)` in the population, the sparse
-    /// sweep `O(N^2)` per iteration) and the fitted MAPs are not extremely
-    /// stiff; prefer [`MapNetwork::solve`] when phase persistence is close
-    /// to 1 and sweeps stall.
+    /// (the direct level-reduction inverts one dense block per level, the
+    /// sparse sweep is `O(transitions)` per iteration) and the fitted MAPs
+    /// are not extremely stiff; prefer [`MapNetwork::solve`] when phase
+    /// persistence is close to 1 and sweeps stall.
     ///
     /// # Errors
     /// Propagates construction errors and [`QnError::NoConvergence`].
@@ -428,17 +739,17 @@ impl MapNetwork {
     }
 
     /// Solve with automatic engine selection: the direct level-reduction
-    /// (`O(N^4)` but immune to stiffness) for state spaces up to
-    /// `sparse_above_states`, and the sparse CSR engine above it. A sparse
-    /// attempt that stalls — fitted bursty MAPs with phase persistence close
-    /// to 1 make the chain nearly completely decomposable — falls back to
-    /// the direct solver, so the method never fails merely because the
-    /// iterative engine could not converge.
+    /// (immune to stiffness) for state spaces up to `sparse_above_states`,
+    /// and the sparse CSR engine above it. A sparse attempt that stalls —
+    /// fitted bursty MAPs with phase persistence close to 1 make the chain
+    /// nearly completely decomposable — falls back to the direct solver, so
+    /// the method never fails merely because the iterative engine could not
+    /// converge. Works for any station count `M`.
     ///
     /// The measured crossover on MAP(2)×MAP(2) networks sits around 10⁴
-    /// states (population ≈ 70): below it the direct solver wins, above it
-    /// the sparse sweep's `O(transitions)` iterations win. That value is
-    /// exported as [`AUTO_SPARSE_THRESHOLD`].
+    /// states (population ≈ 70 at `M = 2`): below it the direct solver
+    /// wins, above it the sparse sweep's `O(transitions)` iterations win.
+    /// That value is exported as [`AUTO_SPARSE_THRESHOLD`].
     ///
     /// # Errors
     /// Propagates state-limit and construction errors, and direct-solver
@@ -497,8 +808,7 @@ impl MapNetwork {
                 MapNetwork {
                     population: pop,
                     think_time: self.think_time,
-                    front: self.front,
-                    db: self.db,
+                    stations: self.stations.clone(),
                     state_limit: self.state_limit,
                 }
                 .solve()
@@ -506,68 +816,75 @@ impl MapNetwork {
             .collect()
     }
 
-    /// Flat state index for the generic-CTMC path.
-    fn flat_index(&self, n_f: usize, n_d: usize, p_f: usize, p_d: usize) -> usize {
-        let n = self.population;
-        let before = n_f * (n + 1) - n_f * (n_f.saturating_sub(1)) / 2;
-        (before + n_d) * 4 + p_f * 2 + p_d
-    }
-
     /// Visit every transition `(from, to, rate)` of the flat CTMC, in
     /// strictly increasing `from` order (the state enumeration follows the
-    /// flat index, which is what lets [`MapNetwork::outgoing_csr`] stream
-    /// straight into CSR arrays).
+    /// combinatorial flat index, which is what lets
+    /// [`MapNetwork::outgoing_csr`] stream straight into CSR arrays).
     fn for_each_transition(&self, mut visit: impl FnMut(usize, usize, f64)) {
         let n = self.population;
+        let m = self.stations.len();
+        let idx = StateIndexer::new(n, m);
+        let phases = idx.phases;
         let think_rate = 1.0 / self.think_time;
-        let d0f = self.front.d0();
-        let d1f = self.front.d1();
-        let d0d = self.db.d0();
-        let d1d = self.db.d1();
-        for n_f in 0..=n {
-            for n_d in 0..=(n - n_f) {
-                let thinking = (n - n_f - n_d) as f64;
-                for p_f in 0..2 {
-                    for p_d in 0..2 {
-                        let from = self.flat_index(n_f, n_d, p_f, p_d);
-                        if thinking > 0.0 {
-                            visit(
-                                from,
-                                self.flat_index(n_f + 1, n_d, p_f, p_d),
-                                thinking * think_rate,
-                            );
-                        }
-                        if n_f > 0 {
-                            let hidden = d0f[p_f][1 - p_f];
-                            if hidden > 0.0 {
-                                visit(from, self.flat_index(n_f, n_d, 1 - p_f, p_d), hidden);
-                            }
-                            for (j, &rate) in d1f[p_f].iter().enumerate() {
-                                if rate > 0.0 {
-                                    visit(from, self.flat_index(n_f - 1, n_d + 1, j, p_d), rate);
-                                }
-                            }
-                        }
-                        if n_d > 0 {
-                            let hidden = d0d[p_d][1 - p_d];
-                            if hidden > 0.0 {
-                                visit(from, self.flat_index(n_f, n_d, p_f, 1 - p_d), hidden);
-                            }
-                            for (j, &rate) in d1d[p_d].iter().enumerate() {
-                                if rate > 0.0 {
-                                    visit(from, self.flat_index(n_f, n_d - 1, p_f, j), rate);
-                                }
-                            }
+        let mut occ = vec![0usize; m];
+        let mut scratch = vec![0usize; m];
+        // Per-station completion-destination bases; phase-independent, so
+        // computed once per occupancy vector rather than 2^M times.
+        let mut dst_bases = vec![0usize; m];
+        loop {
+            let total: usize = occ.iter().sum();
+            let from_base = idx.occ_rank(&occ) * phases;
+            let thinking = (n - total) as f64;
+            // Destination bases that do not depend on the phase index.
+            let up_base = if total < n {
+                scratch.copy_from_slice(&occ);
+                scratch[0] += 1;
+                idx.occ_rank(&scratch) * phases
+            } else {
+                0
+            };
+            for i in 0..m {
+                if occ[i] == 0 {
+                    continue;
+                }
+                scratch.copy_from_slice(&occ);
+                scratch[i] -= 1;
+                if i + 1 < m {
+                    scratch[i + 1] += 1;
+                }
+                dst_bases[i] = idx.occ_rank(&scratch) * phases;
+            }
+            for q in 0..phases {
+                let from = from_base + q;
+                if thinking > 0.0 {
+                    visit(from, up_base + q, thinking * think_rate);
+                }
+                for i in 0..m {
+                    if occ[i] == 0 {
+                        continue;
+                    }
+                    let p = phase_of(q, i, m);
+                    let d0 = self.stations[i].d0();
+                    let hidden = d0[p][1 - p];
+                    if hidden > 0.0 {
+                        visit(from, from_base + with_phase(q, i, 1 - p, m), hidden);
+                    }
+                    for (j, &rate) in self.stations[i].d1()[p].iter().enumerate() {
+                        if rate > 0.0 {
+                            visit(from, dst_bases[i] + with_phase(q, i, j, m), rate);
                         }
                     }
                 }
+            }
+            if !next_occupancy(&mut occ, total, n) {
+                break;
             }
         }
     }
 
     /// The off-diagonal generator of the flat CTMC, assembled directly into
     /// CSR form with no intermediate triplet list (each state has at most
-    /// six outgoing transitions, so the arrays are tight).
+    /// `2 + 3M` outgoing transitions, so the arrays are tight).
     ///
     /// # Errors
     /// Construction cannot fail for a validated network; errors are
@@ -587,7 +904,7 @@ impl MapNetwork {
     /// ```
     pub fn outgoing_csr(&self) -> Result<CsrMatrix, QnError> {
         let mut builder = CsrMatrix::builder(self.state_count());
-        builder.reserve(self.state_count() * 6);
+        builder.reserve(self.state_count() * (2 + 3 * self.stations.len()));
         let mut failed = None;
         self.for_each_transition(|from, to, rate| {
             if failed.is_none() {
@@ -611,29 +928,32 @@ impl MapNetwork {
         tr
     }
 
-    /// Extract metrics from per-level stationary blocks.
-    fn metrics_from_levels(&self, levels: &[Vec<f64>]) -> MapQnSolution {
-        let d1d = self.db.d1();
+    /// Extract metrics from per-level stationary blocks (local layout
+    /// `comp_rank * 2^M + phase_index`).
+    fn metrics_from_levels(&self, levels: &[Vec<f64>], comps: &[Vec<Vec<usize>>]) -> MapQnSolution {
+        let m = self.stations.len();
+        let phases = 1usize << m;
+        let last = m - 1;
+        let d1_last = self.stations[last].d1();
         let mut throughput = 0.0;
-        let mut u_f = 0.0;
-        let mut u_d = 0.0;
-        let mut q_f = 0.0;
-        let mut q_d = 0.0;
+        let mut util = vec![0.0; m];
+        let mut jobs = vec![0.0; m];
         for (level, block) in levels.iter().enumerate() {
-            for n_f in 0..=level {
-                let n_d = level - n_f;
-                for p_f in 0..2 {
-                    for p_d in 0..2 {
-                        let p = block[n_f * 4 + p_f * 2 + p_d];
-                        if n_f > 0 {
-                            u_f += p;
+            for (ci, comp) in comps[level].iter().enumerate() {
+                for q in 0..phases {
+                    let p = block[ci * phases + q];
+                    if p == 0.0 {
+                        continue;
+                    }
+                    for i in 0..m {
+                        if comp[i] > 0 {
+                            util[i] += p;
+                            jobs[i] += p * comp[i] as f64;
                         }
-                        if n_d > 0 {
-                            u_d += p;
-                            throughput += p * (d1d[p_d][0] + d1d[p_d][1]);
-                        }
-                        q_f += p * n_f as f64;
-                        q_d += p * n_d as f64;
+                    }
+                    if comp[last] > 0 {
+                        let pl = phase_of(q, last, m);
+                        throughput += p * (d1_last[pl][0] + d1_last[pl][1]);
                     }
                 }
             }
@@ -645,14 +965,116 @@ impl MapNetwork {
         };
         MapQnSolution {
             throughput,
-            utilization_front: u_f,
-            utilization_db: u_d,
-            mean_jobs_front: q_f,
-            mean_jobs_db: q_d,
+            utilization_front: util[0],
+            utilization_db: util[last],
+            mean_jobs_front: jobs[0],
+            mean_jobs_db: jobs[last],
+            utilization: util,
+            mean_jobs: jobs,
             response_time,
             states: self.state_count(),
         }
     }
+
+    /// Extract metrics from a flat stationary vector (the sparse/dense CTMC
+    /// path).
+    fn metrics_from_flat(&self, pi: &[f64]) -> MapQnSolution {
+        let n = self.population;
+        let m = self.stations.len();
+        let idx = StateIndexer::new(n, m);
+        let phases = idx.phases;
+        // Re-bucket the flat vector into levels for shared metric
+        // extraction.
+        let comps: Vec<Vec<Vec<usize>>> = (0..=n).map(|l| compositions(l, m)).collect();
+        let mut levels: Vec<Vec<f64>> = comps.iter().map(|c| vec![0.0; c.len() * phases]).collect();
+        let mut flat = 0usize;
+        let mut occ = vec![0usize; m];
+        loop {
+            let total: usize = occ.iter().sum();
+            let local_base = idx.comp_rank(&occ) * phases;
+            for q in 0..phases {
+                levels[total][local_base + q] = pi[flat];
+                flat += 1;
+            }
+            if !next_occupancy(&mut occ, total, n) {
+                break;
+            }
+        }
+        self.metrics_from_levels(&levels, &comps)
+    }
+}
+
+/// Advance `occ` to the next occupancy vector in lexicographic order (total
+/// capped at `n`); returns `false` past the last vector `(n, 0, …, 0)`.
+fn next_occupancy(occ: &mut [usize], total: usize, n: usize) -> bool {
+    let m = occ.len();
+    if total < n {
+        occ[m - 1] += 1;
+        return true;
+    }
+    // Total is at the cap: drop the last non-zero component and carry.
+    let k = match occ.iter().rposition(|&o| o > 0) {
+        Some(k) => k,
+        None => return false, // n = 0: single state
+    };
+    if k == 0 {
+        return false;
+    }
+    occ[k] = 0;
+    occ[k - 1] += 1;
+    true
+}
+
+/// Shared forward pass of the level reduction: `pi_{l+1} = pi_l U_l`, then
+/// clip-and-normalize across levels.
+fn forward_pass(
+    pi0: Vec<f64>,
+    u_blocks: &[Vec<f64>],
+    level_size: impl Fn(usize) -> usize,
+) -> Result<Vec<Vec<f64>>, QnError> {
+    let mut levels: Vec<Vec<f64>> = Vec::with_capacity(u_blocks.len() + 1);
+    levels.push(pi0);
+    for (level, u) in u_blocks.iter().enumerate() {
+        let m_l = level_size(level);
+        let m_next = level_size(level + 1);
+        let prev = &levels[level];
+        let mut next = vec![0.0; m_next];
+        for r in 0..m_l {
+            let w = prev[r];
+            if w == 0.0 {
+                continue;
+            }
+            let row = &u[r * m_next..(r + 1) * m_next];
+            for (c, &val) in row.iter().enumerate() {
+                next[c] += w * val;
+            }
+        }
+        levels.push(next);
+    }
+
+    // Normalize across all levels (clip the tiny negatives roundoff can
+    // leave in near-zero entries).
+    let mut total = 0.0;
+    for level in levels.iter_mut() {
+        for x in level.iter_mut() {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+            total += *x;
+        }
+    }
+    if !(total > 0.0) {
+        return Err(QnError::InvalidParameter {
+            name: "network",
+            reason: "stationary vector has no mass".into(),
+        });
+    }
+    for level in levels.iter_mut() {
+        for x in level.iter_mut() {
+            *x /= total;
+        }
+    }
+    Ok(levels)
 }
 
 /// Invert a flat row-major `m x m` matrix in place via Gauss-Jordan with
@@ -809,6 +1231,93 @@ mod tests {
     }
 
     #[test]
+    fn three_station_exponential_matches_mva() {
+        // The generic tandem against exact MVA in the product-form case.
+        let demands = [0.004, 0.01, 0.006];
+        let stations: Vec<Map2> = demands
+            .iter()
+            .map(|&d| Map2::poisson(1.0 / d).unwrap())
+            .collect();
+        let mva = ClosedMva::new(demands.to_vec(), 0.4).unwrap();
+        // Direct-solver level blocks grow as ~4 l^2 at M = 3, so debug-mode
+        // tests stay at small populations; larger ones go through the
+        // sparse engine (covered elsewhere).
+        for pop in [1, 4, 8] {
+            let exact = MapNetwork::tandem(pop, 0.4, stations.clone())
+                .unwrap()
+                .solve()
+                .unwrap();
+            let baseline = mva.solve(pop).unwrap();
+            assert!(
+                (exact.throughput - baseline.throughput).abs() / baseline.throughput < 1e-6,
+                "N={pop}: MAP-QN {} vs MVA {}",
+                exact.throughput,
+                baseline.throughput
+            );
+            for i in 0..3 {
+                assert!(
+                    (exact.utilization[i] - baseline.utilization[i]).abs() < 1e-6,
+                    "N={pop} station {i}: U {} vs {}",
+                    exact.utilization[i],
+                    baseline.utilization[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generic_solver_matches_two_station_reference() {
+        // The preserved two-station code is the oracle for the generic
+        // level reduction at M = 2.
+        let front = Map2Fitter::new(0.02, 50.0, 0.06).fit().unwrap().map();
+        let db = Map2Fitter::new(0.03, 100.0, 0.1).fit().unwrap().map();
+        let net = MapNetwork::new(12, 0.45, front, db).unwrap();
+        let generic = net.solve().unwrap();
+        let oracle = net.solve_two_station_reference().unwrap();
+        assert!(
+            (generic.throughput - oracle.throughput).abs() / oracle.throughput < 1e-10,
+            "generic {} vs oracle {}",
+            generic.throughput,
+            oracle.throughput
+        );
+        assert!((generic.utilization_db - oracle.utilization_db).abs() < 1e-10);
+        assert!((generic.mean_jobs_front - oracle.mean_jobs_front).abs() < 1e-8);
+    }
+
+    #[test]
+    fn two_station_reference_rejects_other_station_counts() {
+        let m = Map2::poisson(1.0).unwrap();
+        let net = MapNetwork::tandem(3, 0.5, vec![m, m, m]).unwrap();
+        assert!(matches!(
+            net.solve_two_station_reference(),
+            Err(QnError::InvalidParameter {
+                name: "stations",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn single_station_tandem_matches_mva() {
+        // M = 1 degenerates to the machine-repair model.
+        let st = Map2::poisson(1.0 / 0.02).unwrap();
+        let mva = ClosedMva::new(vec![0.02], 0.5).unwrap();
+        for pop in [1, 8, 30] {
+            let sol = MapNetwork::tandem(pop, 0.5, vec![st])
+                .unwrap()
+                .solve()
+                .unwrap();
+            let baseline = mva.solve(pop).unwrap();
+            assert!(
+                (sol.throughput - baseline.throughput).abs() / baseline.throughput < 1e-6,
+                "N={pop}: {} vs {}",
+                sol.throughput,
+                baseline.throughput
+            );
+        }
+    }
+
+    #[test]
     fn direct_solver_matches_dense_lu() {
         // Cross-validation of the level-reduction against exact dense LU on
         // the full generator, including a stiff bursty MAP.
@@ -830,6 +1339,33 @@ mod tests {
     }
 
     #[test]
+    fn three_station_direct_matches_dense_lu() {
+        // The generic level reduction against dense LU on a bursty
+        // three-station tandem.
+        let web = Map2Fitter::new(0.004, 6.0, 0.012).fit().unwrap().map();
+        let app = Map2Fitter::new(0.02, 50.0, 0.06).fit().unwrap().map();
+        let db = Map2Fitter::new(0.03, 100.0, 0.1).fit().unwrap().map();
+        let net = MapNetwork::tandem(6, 0.45, vec![web, app, db]).unwrap();
+        let direct = net.solve().unwrap();
+        let lu = net
+            .solve_iterative(SteadyStateMethod::DenseLu { limit: 10_000 })
+            .unwrap();
+        assert!(
+            (direct.throughput - lu.throughput).abs() / lu.throughput < 1e-8,
+            "direct {} vs LU {}",
+            direct.throughput,
+            lu.throughput
+        );
+        for i in 0..3 {
+            assert!(
+                (direct.utilization[i] - lu.utilization[i]).abs() < 1e-8,
+                "station {i}"
+            );
+            assert!((direct.mean_jobs[i] - lu.mean_jobs[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
     fn csr_assembly_matches_triplet_reference() {
         // The streaming CSR path must carry exactly the transitions of the
         // triplet reference implementation.
@@ -841,6 +1377,30 @@ mod tests {
         assert_eq!(csr.nnz(), reference.len());
         let from_csr: Vec<(usize, usize, f64)> = csr.iter().collect();
         assert_eq!(from_csr, reference);
+        // And for a three-station tandem.
+        let web = Map2Fitter::new(0.004, 6.0, 0.012).fit().unwrap().map();
+        let net3 = MapNetwork::tandem(4, 0.45, vec![web, front, db]).unwrap();
+        let csr3 = net3.outgoing_csr().unwrap();
+        let reference3 = net3.flat_transitions();
+        assert_eq!(csr3.iter().collect::<Vec<_>>(), reference3);
+    }
+
+    #[test]
+    fn generator_rows_conserve_probability() {
+        // Every off-diagonal row sum must be matched by the diagonal the
+        // Ctmc builder derives — i.e. the CSR carries a proper generator:
+        // all rates positive, all destinations in range, and the chain
+        // irreducible enough to solve.
+        let web = Map2Fitter::new(0.004, 6.0, 0.012).fit().unwrap().map();
+        let app = Map2Fitter::new(0.01, 20.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.008, 40.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::tandem(5, 0.3, vec![web, app, db]).unwrap();
+        let csr = net.outgoing_csr().unwrap();
+        let states = net.state_count();
+        assert_eq!(csr.n(), states);
+        assert!(csr
+            .iter()
+            .all(|(i, j, r)| i < states && j < states && r > 0.0 && i != j));
     }
 
     #[test]
@@ -857,6 +1417,25 @@ mod tests {
             direct.throughput
         );
         assert!((sparse.mean_jobs_db - direct.mean_jobs_db).abs() < 1e-6);
+    }
+
+    #[test]
+    fn three_station_sparse_matches_direct() {
+        let web = Map2Fitter::new(0.004, 4.0, 0.012).fit().unwrap().map();
+        let app = Map2Fitter::new(0.01, 8.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.008, 12.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::tandem(10, 0.3, vec![web, app, db]).unwrap();
+        let sparse = net.solve_sparse().unwrap();
+        let direct = net.solve().unwrap();
+        assert!(
+            (sparse.throughput - direct.throughput).abs() / direct.throughput < 1e-8,
+            "sparse {} vs direct {}",
+            sparse.throughput,
+            direct.throughput
+        );
+        for i in 0..3 {
+            assert!((sparse.mean_jobs[i] - direct.mean_jobs[i]).abs() < 1e-6);
+        }
     }
 
     #[test]
@@ -881,8 +1460,8 @@ mod tests {
 
     #[test]
     fn single_customer_closed_form() {
-        // N=1: X = 1 / (Z + S_f + S_d) regardless of burstiness profile
-        // (means only).
+        // N=1: X = 1 / (Z + sum of demands) regardless of burstiness
+        // profile (means only) — two and three stations.
         let front = Map2Fitter::new(0.02, 50.0, 0.06).fit().unwrap().map();
         let db = Map2Fitter::new(0.03, 100.0, 0.1).fit().unwrap().map();
         let sol = MapNetwork::new(1, 0.45, front, db)
@@ -895,6 +1474,18 @@ mod tests {
             "X = {} vs {}",
             sol.throughput,
             expected
+        );
+        let web = Map2Fitter::new(0.004, 6.0, 0.012).fit().unwrap().map();
+        let sol3 = MapNetwork::tandem(1, 0.45, vec![web, front, db])
+            .unwrap()
+            .solve()
+            .unwrap();
+        let expected3 = 1.0 / (0.45 + 0.004 + 0.02 + 0.03);
+        assert!(
+            (sol3.throughput - expected3).abs() / expected3 < 1e-6,
+            "X = {} vs {}",
+            sol3.throughput,
+            expected3
         );
     }
 
@@ -964,6 +1555,26 @@ mod tests {
     }
 
     #[test]
+    fn three_station_population_is_conserved() {
+        let web = Map2Fitter::new(0.004, 6.0, 0.012).fit().unwrap().map();
+        let app = Map2Fitter::new(0.01, 40.0, 0.03).fit().unwrap().map();
+        let db = Map2::poisson(1.0 / 0.004).unwrap();
+        let pop = 8;
+        let sol = MapNetwork::tandem(pop, 0.5, vec![web, app, db])
+            .unwrap()
+            .solve()
+            .unwrap();
+        let thinking = sol.throughput * 0.5;
+        let total: f64 = sol.mean_jobs.iter().sum::<f64>() + thinking;
+        assert!((total - pop as f64).abs() < 1e-6, "total = {total}");
+        // Scalar mirrors point at the first/last stations.
+        assert_eq!(sol.mean_jobs_front, sol.mean_jobs[0]);
+        assert_eq!(sol.mean_jobs_db, sol.mean_jobs[2]);
+        assert_eq!(sol.utilization_front, sol.utilization[0]);
+        assert_eq!(sol.utilization_db, sol.utilization[2]);
+    }
+
+    #[test]
     fn sweep_matches_individual_solves() {
         let front = Map2::poisson(1.0 / 0.01).unwrap();
         let db = Map2Fitter::new(0.007, 60.0, 0.02).fit().unwrap().map();
@@ -1001,27 +1612,59 @@ mod tests {
 
     #[test]
     fn state_count_formula() {
-        let net = MapNetwork::new(
-            3,
-            0.5,
-            Map2::poisson(1.0).unwrap(),
-            Map2::poisson(1.0).unwrap(),
-        )
-        .unwrap();
+        let p = Map2::poisson(1.0).unwrap();
+        let net = MapNetwork::new(3, 0.5, p, p).unwrap();
         // Pairs: (0,0..3),(1,0..2),(2,0..1),(3,0) = 4+3+2+1 = 10; x4 phases.
         assert_eq!(net.state_count(), 40);
+        // Three stations: C(3 + 3, 3) = 20 occupancy vectors x 8 phases.
+        let net3 = MapNetwork::tandem(3, 0.5, vec![p, p, p]).unwrap();
+        assert_eq!(net3.state_count(), 160);
+        // One station: 4 occupancies x 2 phases.
+        let net1 = MapNetwork::tandem(3, 0.5, vec![p]).unwrap();
+        assert_eq!(net1.state_count(), 8);
+    }
+
+    #[test]
+    fn indexer_ranks_are_a_bijection() {
+        // occ_rank must enumerate the lex order 0..count for every (n, m).
+        for (n, m) in [(5usize, 2usize), (4, 3), (3, 4), (7, 1)] {
+            let idx = StateIndexer::new(n, m);
+            let mut occ = vec![0usize; m];
+            let mut expected = 0usize;
+            loop {
+                let total: usize = occ.iter().sum();
+                assert_eq!(idx.occ_rank(&occ), expected, "occ {occ:?}");
+                // Within-level rank is consistent with the per-level lex
+                // enumeration.
+                let comps = compositions(total, m);
+                assert_eq!(&comps[idx.comp_rank(&occ)], &occ);
+                expected += 1;
+                if !next_occupancy(&mut occ, total, n) {
+                    break;
+                }
+            }
+            assert_eq!(
+                expected * (1 << m),
+                StateIndexer::new(n, m).phases * expected
+            );
+            let p = Map2::poisson(1.0).unwrap();
+            let net = MapNetwork::tandem(n, 0.5, vec![p; m]).unwrap();
+            assert_eq!(expected * (1 << m), net.state_count());
+        }
+    }
+
+    #[test]
+    fn flat_index_covers_phase_block() {
+        let idx = StateIndexer::new(4, 3);
+        assert_eq!(idx.flat_index(&[0, 0, 0], 0), 0);
+        assert_eq!(idx.flat_index(&[0, 0, 0], 7), 7);
+        assert_eq!(idx.flat_index(&[0, 0, 1], 0), 8);
     }
 
     #[test]
     fn state_limit_enforced() {
-        let net = MapNetwork::new(
-            100,
-            0.5,
-            Map2::poisson(1.0).unwrap(),
-            Map2::poisson(1.0).unwrap(),
-        )
-        .unwrap()
-        .state_limit(100);
+        let p = Map2::poisson(1.0).unwrap();
+        let net = MapNetwork::new(100, 0.5, p, p).unwrap().state_limit(100);
         assert!(matches!(
             net.solve(),
             Err(QnError::StateSpaceTooLarge { .. })
@@ -1033,6 +1676,7 @@ mod tests {
         let m = Map2::poisson(1.0).unwrap();
         assert!(MapNetwork::new(0, 0.5, m, m).is_err());
         assert!(MapNetwork::new(1, 0.0, m, m).is_err());
+        assert!(MapNetwork::tandem(1, 0.5, vec![]).is_err());
     }
 
     #[test]
@@ -1053,15 +1697,14 @@ mod tests {
 
     #[test]
     fn invert_flat_roundtrip() {
-        let mut a = vec![4.0, 7.0, 2.0, 6.0];
+        let a = vec![4.0, 7.0, 2.0, 6.0];
         let inv = invert_flat(&mut a.clone(), 2).unwrap();
         // A * A^{-1} = I.
-        let a0 = [4.0, 7.0, 2.0, 6.0];
         for i in 0..2 {
             for j in 0..2 {
                 let mut acc = 0.0;
                 for k in 0..2 {
-                    acc += a0[i * 2 + k] * inv[k * 2 + j];
+                    acc += a[i * 2 + k] * inv[k * 2 + j];
                 }
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert!((acc - expect).abs() < 1e-12);
@@ -1069,7 +1712,6 @@ mod tests {
         }
         let mut singular = vec![1.0, 2.0, 2.0, 4.0];
         assert!(invert_flat(&mut singular, 2).is_none());
-        a.clear();
     }
 
     #[test]

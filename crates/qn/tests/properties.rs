@@ -181,4 +181,99 @@ proptest! {
             x_exp
         );
     }
+
+    /// The generic N-station level reduction at M = 2 reproduces the
+    /// preserved two-station solver within 1e-10 on random ergodic
+    /// configurations (bursty fitted MAPs, arbitrary think times and
+    /// populations).
+    #[test]
+    fn generic_m2_matches_two_station_reference(
+        mean_f in 5e-3f64..0.04,
+        mean_d in 5e-3f64..0.04,
+        i_f in 1.5f64..120.0,
+        i_d in 1.5f64..120.0,
+        p95_ratio in 1.5f64..4.0,
+        z in 0.1f64..1.0,
+        pop in 1usize..12,
+    ) {
+        let front = Map2Fitter::new(mean_f, i_f, mean_f * p95_ratio).fit().unwrap().map();
+        let db = Map2Fitter::new(mean_d, i_d, mean_d * p95_ratio).fit().unwrap().map();
+        let net = MapNetwork::new(pop, z, front, db).unwrap();
+        let generic = net.solve().unwrap();
+        let oracle = net.solve_two_station_reference().unwrap();
+        prop_assert!(
+            (generic.throughput - oracle.throughput).abs()
+                <= 1e-10 * oracle.throughput.max(1.0),
+            "X: generic {} vs oracle {}",
+            generic.throughput,
+            oracle.throughput
+        );
+        for i in 0..2 {
+            prop_assert!(
+                (generic.utilization[i] - oracle.utilization[i]).abs() <= 1e-10,
+                "U[{i}]: {} vs {}",
+                generic.utilization[i],
+                oracle.utilization[i]
+            );
+            prop_assert!(
+                (generic.mean_jobs[i] - oracle.mean_jobs[i]).abs() <= 1e-8 * pop as f64,
+                "Q[{i}]: {} vs {}",
+                generic.mean_jobs[i],
+                oracle.mean_jobs[i]
+            );
+        }
+    }
+}
+
+proptest! {
+    // The N-station direct solves below invert one dense block per level
+    // with blocks growing as C(l + M - 1, M - 1), so the case count stays
+    // small and populations shrink with the station count.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// N-station degenerate case: with exponential (Poisson MAP) service at
+    /// every station the tandem is product-form and exact MVA must agree
+    /// with the CTMC solution — per-station, for 1..=3 stations.
+    #[test]
+    fn n_station_exponential_tandem_matches_mva(
+        demands in prop::collection::vec(2e-3f64..0.05, 1..4),
+        z in 0.1f64..1.0,
+        pop_raw in 1usize..16,
+    ) {
+        let m = demands.len();
+        // Cap the population by station count to bound the level-block
+        // sizes (debug-mode cost).
+        let pop = 1 + pop_raw % match m {
+            1 => 12,
+            2 => 10,
+            _ => 6,
+        };
+        let stations: Vec<Map2> =
+            demands.iter().map(|&d| Map2::poisson(1.0 / d).unwrap()).collect();
+        let exact = MapNetwork::tandem(pop, z, stations).unwrap().solve().unwrap();
+        let mva = ClosedMva::new(demands.clone(), z).unwrap().solve(pop).unwrap();
+        prop_assert!(
+            (exact.throughput - mva.throughput).abs() / mva.throughput < 1e-6,
+            "M={m} N={pop}: X {} vs {}",
+            exact.throughput,
+            mva.throughput
+        );
+        for i in 0..m {
+            prop_assert!(
+                (exact.utilization[i] - mva.utilization[i]).abs() < 1e-6,
+                "M={m} N={pop} station {i}: U {} vs {}",
+                exact.utilization[i],
+                mva.utilization[i]
+            );
+            prop_assert!(
+                (exact.mean_jobs[i] - mva.queue_length[i]).abs() < 1e-5,
+                "M={m} N={pop} station {i}: Q {} vs {}",
+                exact.mean_jobs[i],
+                mva.queue_length[i]
+            );
+        }
+        // Population conservation across stations and the think stage.
+        let total: f64 = exact.mean_jobs.iter().sum::<f64>() + exact.throughput * z;
+        prop_assert!((total - pop as f64).abs() < 1e-6);
+    }
 }

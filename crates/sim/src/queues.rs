@@ -175,17 +175,21 @@ pub enum Tier {
 /// Calendar events of the closed-network simulation.
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    /// A customer finished thinking and submits a request to the front tier.
+    /// A customer finished thinking and submits a request to the entry
+    /// station.
     ThinkEnd,
     /// The service MAP of a station fires a (hidden or event) transition.
-    Transition { tier: usize, generation: u64 },
+    Transition { station: usize, generation: u64 },
 }
 
 /// A station whose completions follow a MAP(2) service process, frozen while
-/// the station is idle.
+/// the station is idle. Each station owns its RNG stream (derived from the
+/// run seed through [`seeds::derive`]), so the MAP sample path of station
+/// `i` is unaffected by how many other stations the network has.
 #[derive(Debug, Clone)]
 struct MapStation {
     map: Map2,
+    rng: SmallRng,
     phase: usize,
     queue_len: usize,
     generation: u64,
@@ -197,11 +201,13 @@ struct MapStation {
 }
 
 impl MapStation {
-    fn new(map: Map2, rng: &mut SmallRng) -> Self {
+    fn new(map: Map2, mut rng: SmallRng) -> Self {
         let pi = map.embedded_stationary();
+        let phase = usize::from(rng.random::<f64>() >= pi[0]);
         MapStation {
             map,
-            phase: usize::from(rng.random::<f64>() >= pi[0]),
+            rng,
+            phase,
             queue_len: 0,
             generation: 0,
             busy_since: None,
@@ -219,36 +225,80 @@ impl MapStation {
         }
         self.last_change = now;
     }
+
+    /// Schedule the next MAP transition of this station's current phase.
+    fn schedule_sojourn(&mut self, calendar: &mut EventQueue<Event>, now: f64, station: usize) {
+        let rate = -self.map.d0()[self.phase][self.phase];
+        let dt = sample_exp(&mut self.rng, rate);
+        calendar.schedule(
+            now + dt,
+            Event::Transition {
+                station,
+                generation: self.generation,
+            },
+        );
+    }
+
+    /// A job arrives at this station; starts service if the station was
+    /// idle.
+    fn arrive(&mut self, calendar: &mut EventQueue<Event>, now: f64, warmup: f64, station: usize) {
+        self.integrate_queue(now, warmup);
+        self.queue_len += 1;
+        if self.queue_len == 1 {
+            self.busy_since = Some(now);
+            self.generation += 1;
+            self.schedule_sojourn(calendar, now, station);
+        }
+    }
 }
 
-/// Exact discrete-event simulation of the closed MAP queueing network of the
-/// paper's Figure 9: think (exponential delay) → front → database → think.
+/// Exact discrete-event simulation of a closed MAP queueing network: `N`
+/// customers cycling through an exponential think stage and `M` MAP(2)
+/// stations. The default **tandem** routing reproduces the paper's Figure 9
+/// for `M = 2` (think → front → database → think) and generalizes it to any
+/// station chain; an explicit routing-probability matrix
+/// ([`ClosedMapNetwork::routing`]) covers feedback and skip topologies.
 #[derive(Debug, Clone)]
 pub struct ClosedMapNetwork {
     population: usize,
     think_time: f64,
-    front: Map2,
-    db: Map2,
+    stations: Vec<Map2>,
+    routing: Option<Vec<Vec<f64>>>,
 }
 
 /// Steady-state estimates from a [`ClosedMapNetwork`] run.
+///
+/// Per-station metrics live in `utilization` / `mean_jobs` (station order);
+/// the scalar `*_front` / `*_db` fields mirror the first and last station
+/// for continuity with the two-tier model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClosedRunResult {
-    /// System throughput: database completions per second.
+    /// System throughput: completions that return to the think stage, per
+    /// second (for tandem routing, last-station completions).
     pub throughput: f64,
-    /// Front-server utilization.
+    /// Per-station utilization, in station order.
+    pub utilization: Vec<f64>,
+    /// Per-station time-averaged number of resident requests.
+    pub mean_jobs: Vec<f64>,
+    /// Per-station completions per second (visit rates). For tandem routing
+    /// every station's rate equals the system throughput; with a routing
+    /// matrix, feedback loops push a station's rate above it (visit
+    /// ratios).
+    pub completion_rates: Vec<f64>,
+    /// First-station utilization (`utilization[0]`).
     pub utilization_front: f64,
-    /// Database utilization.
+    /// Last-station utilization (`utilization[M - 1]`).
     pub utilization_db: f64,
-    /// Time-averaged number of requests at the front tier.
+    /// Time-averaged number of requests at the first station.
     pub mean_jobs_front: f64,
-    /// Time-averaged number of requests at the database tier.
+    /// Time-averaged number of requests at the last station.
     pub mean_jobs_db: f64,
 }
 
 impl ClosedMapNetwork {
-    /// Configure a network with `population` customers, mean think time
-    /// `think_time`, and per-tier MAP(2) service processes.
+    /// Configure the paper's two-tier network: `population` customers, mean
+    /// think time `think_time`, and front/database MAP(2) service processes
+    /// in tandem.
     ///
     /// # Errors
     /// Rejects a zero population and non-positive think times.
@@ -257,6 +307,21 @@ impl ClosedMapNetwork {
         think_time: f64,
         front: Map2,
         db: Map2,
+    ) -> Result<Self, SimError> {
+        Self::tandem(population, think_time, vec![front, db])
+    }
+
+    /// Configure a tandem of `M` MAP(2) stations: think completions enter
+    /// station 0, station `i` feeds station `i + 1`, the last station
+    /// returns to the think stage.
+    ///
+    /// # Errors
+    /// Rejects a zero population, non-positive think times, and an empty
+    /// station list.
+    pub fn tandem(
+        population: usize,
+        think_time: f64,
+        stations: Vec<Map2>,
     ) -> Result<Self, SimError> {
         if population == 0 {
             return Err(SimError::InvalidParameter {
@@ -270,19 +335,63 @@ impl ClosedMapNetwork {
                 reason: format!("must be positive and finite, got {think_time}"),
             });
         }
+        if stations.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "stations",
+                reason: "need at least one MAP station".into(),
+            });
+        }
         Ok(ClosedMapNetwork {
             population,
             think_time,
-            front,
-            db,
+            stations,
+            routing: None,
         })
+    }
+
+    /// Replace tandem routing with an explicit `M x M` probability matrix:
+    /// `routing[i][j]` is the probability a completion at station `i` moves
+    /// to station `j`; the remaining mass `1 - sum_j routing[i][j]` returns
+    /// to the think stage. Think completions always enter station 0.
+    ///
+    /// # Errors
+    /// Rejects a non-square matrix, negative or non-finite entries, and row
+    /// sums above 1.
+    pub fn routing(mut self, routing: Vec<Vec<f64>>) -> Result<Self, SimError> {
+        let m = self.stations.len();
+        if routing.len() != m || routing.iter().any(|row| row.len() != m) {
+            return Err(SimError::InvalidParameter {
+                name: "routing",
+                reason: format!("routing matrix must be {m} x {m}"),
+            });
+        }
+        for (i, row) in routing.iter().enumerate() {
+            if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+                return Err(SimError::InvalidParameter {
+                    name: "routing",
+                    reason: format!("row {i} has entries outside [0, 1]"),
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if sum > 1.0 + 1e-12 {
+                return Err(SimError::InvalidParameter {
+                    name: "routing",
+                    reason: format!("row {i} sums to {sum} > 1"),
+                });
+            }
+        }
+        self.routing = Some(routing);
+        Ok(self)
     }
 
     /// Simulate for `horizon` seconds, measuring after `warmup` seconds.
     ///
-    /// The RNG stream is derived from `seed` via [`seeds::derive`] with
-    /// [`seeds::CLOSED_MAP_NETWORK_STREAM`]: two different simulators run
-    /// with the same seed consume disjoint streams.
+    /// RNG streams are derived from `seed` via [`seeds::derive`] with
+    /// [`seeds::CLOSED_MAP_NETWORK_STREAM`]: slot 0 drives the think stage
+    /// and routing decisions, slot `1 + i` drives station `i`'s MAP. Two
+    /// different simulators run with the same seed consume disjoint
+    /// streams, and a station's sample path does not depend on how many
+    /// other stations the network has.
     ///
     /// # Errors
     /// Rejects a non-positive measurement interval or a run with no
@@ -296,35 +405,32 @@ impl ClosedMapNetwork {
                 ),
             });
         }
-        let mut rng =
+        let m = self.stations.len();
+        let mut net_rng =
             SmallRng::seed_from_u64(seeds::derive(seed, seeds::CLOSED_MAP_NETWORK_STREAM, 0));
         let mut calendar: EventQueue<Event> = EventQueue::new();
-        let mut stations = [
-            MapStation::new(self.front, &mut rng),
-            MapStation::new(self.db, &mut rng),
-        ];
+        let mut stations: Vec<MapStation> = self
+            .stations
+            .iter()
+            .enumerate()
+            .map(|(i, &map)| {
+                MapStation::new(
+                    map,
+                    SmallRng::seed_from_u64(seeds::derive(
+                        seed,
+                        seeds::CLOSED_MAP_NETWORK_STREAM,
+                        1 + i as u64,
+                    )),
+                )
+            })
+            .collect();
+        let mut think_exits: u64 = 0;
 
         // All customers start thinking.
         for _ in 0..self.population {
-            let t = sample_exp(&mut rng, 1.0 / self.think_time);
+            let t = sample_exp(&mut net_rng, 1.0 / self.think_time);
             calendar.schedule(t, Event::ThinkEnd);
         }
-
-        let schedule_sojourn = |st: &mut MapStation,
-                                cal: &mut EventQueue<Event>,
-                                now: f64,
-                                tier: usize,
-                                rng: &mut SmallRng| {
-            let rate = -st.map.d0()[st.phase][st.phase];
-            let dt = sample_exp(rng, rate);
-            cal.schedule(
-                now + dt,
-                Event::Transition {
-                    tier,
-                    generation: st.generation,
-                },
-            );
-        };
 
         let mut now;
         while let Some((t, event)) = calendar.pop() {
@@ -334,18 +440,14 @@ impl ClosedMapNetwork {
             }
             match event {
                 Event::ThinkEnd => {
-                    let st = &mut stations[0];
-                    st.integrate_queue(now, warmup);
-                    st.queue_len += 1;
-                    if st.queue_len == 1 {
-                        st.busy_since = Some(now);
-                        st.generation += 1;
-                        schedule_sojourn(st, &mut calendar, now, 0, &mut rng);
-                    }
+                    stations[0].arrive(&mut calendar, now, warmup, 0);
                 }
-                Event::Transition { tier, generation } => {
-                    let (is_event, routed) = {
-                        let st = &mut stations[tier];
+                Event::Transition {
+                    station,
+                    generation,
+                } => {
+                    let completed = {
+                        let st = &mut stations[station];
                         if generation != st.generation || st.queue_len == 0 {
                             continue; // stale calendar entry
                         }
@@ -354,11 +456,11 @@ impl ClosedMapNetwork {
                         let i = st.phase;
                         let total = -st.map.d0()[i][i];
                         let hidden = st.map.d0()[i][1 - i];
-                        let u = rng.random::<f64>() * total;
+                        let u = st.rng.random::<f64>() * total;
                         if u < hidden {
                             st.phase = 1 - i;
-                            schedule_sojourn(st, &mut calendar, now, tier, &mut rng);
-                            (false, false)
+                            st.schedule_sojourn(&mut calendar, now, station);
+                            false
                         } else {
                             // Event transition: pick destination phase.
                             let d1 = st.map.d1()[i];
@@ -373,30 +475,40 @@ impl ClosedMapNetwork {
                             }
                             if st.queue_len > 0 {
                                 st.generation += 1;
-                                schedule_sojourn(st, &mut calendar, now, tier, &mut rng);
+                                st.schedule_sojourn(&mut calendar, now, station);
                             } else {
                                 st.busy_since = None;
                                 st.generation += 1;
                             }
-                            (true, true)
+                            true
                         }
                     };
-                    if is_event && routed {
-                        match tier {
-                            0 => {
-                                // Front completion feeds the database.
-                                let st = &mut stations[1];
-                                st.integrate_queue(now, warmup);
-                                st.queue_len += 1;
-                                if st.queue_len == 1 {
-                                    st.busy_since = Some(now);
-                                    st.generation += 1;
-                                    schedule_sojourn(st, &mut calendar, now, 1, &mut rng);
+                    if completed {
+                        // Route the finished job: explicit matrix, or the
+                        // tandem chain with the last station exiting.
+                        let destination = match &self.routing {
+                            Some(rows) => {
+                                let mut u = net_rng.random::<f64>();
+                                let mut dest = None;
+                                for (j, &p) in rows[station].iter().enumerate() {
+                                    if u < p {
+                                        dest = Some(j);
+                                        break;
+                                    }
+                                    u -= p;
                                 }
+                                dest
                             }
-                            _ => {
-                                // Database completion returns to thinking.
-                                let dt = sample_exp(&mut rng, 1.0 / self.think_time);
+                            None => (station + 1 < m).then_some(station + 1),
+                        };
+                        match destination {
+                            Some(j) => stations[j].arrive(&mut calendar, now, warmup, j),
+                            None => {
+                                // Back to the think stage.
+                                if now >= warmup {
+                                    think_exits += 1;
+                                }
+                                let dt = sample_exp(&mut net_rng, 1.0 / self.think_time);
                                 calendar.schedule(now + dt, Event::ThinkEnd);
                             }
                         }
@@ -413,18 +525,26 @@ impl ClosedMapNetwork {
                 st.busy_total += horizon - since.max(warmup);
             }
         }
-        let db_completions = stations[1].completions_measured;
-        if db_completions == 0 {
+        if think_exits == 0 {
             return Err(SimError::NoObservations {
-                what: "database completions",
+                what: "system completions",
             });
         }
+        let utilization: Vec<f64> = stations.iter().map(|s| s.busy_total / measured).collect();
+        let mean_jobs: Vec<f64> = stations.iter().map(|s| s.queue_area / measured).collect();
+        let completion_rates: Vec<f64> = stations
+            .iter()
+            .map(|s| s.completions_measured as f64 / measured)
+            .collect();
         Ok(ClosedRunResult {
-            throughput: db_completions as f64 / measured,
-            utilization_front: stations[0].busy_total / measured,
-            utilization_db: stations[1].busy_total / measured,
-            mean_jobs_front: stations[0].queue_area / measured,
-            mean_jobs_db: stations[1].queue_area / measured,
+            throughput: think_exits as f64 / measured,
+            utilization_front: utilization[0],
+            utilization_db: utilization[m - 1],
+            mean_jobs_front: mean_jobs[0],
+            mean_jobs_db: mean_jobs[m - 1],
+            utilization,
+            mean_jobs,
+            completion_rates,
         })
     }
 
@@ -436,6 +556,16 @@ impl ClosedMapNetwork {
     /// The configured mean think time.
     pub fn think_time(&self) -> f64 {
         self.think_time
+    }
+
+    /// The configured stations, in order.
+    pub fn stations(&self) -> &[Map2] {
+        &self.stations
+    }
+
+    /// Station count `M`.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
     }
 }
 
@@ -636,8 +766,139 @@ mod tests {
         let m = Map2::poisson(1.0).unwrap();
         assert!(ClosedMapNetwork::new(0, 1.0, m, m).is_err());
         assert!(ClosedMapNetwork::new(1, 0.0, m, m).is_err());
+        assert!(ClosedMapNetwork::tandem(1, 1.0, vec![]).is_err());
         let net = ClosedMapNetwork::new(1, 1.0, m, m).unwrap();
         assert!(net.run(10.0, 20.0, 1).is_err());
+    }
+
+    #[test]
+    fn routing_matrix_validation() {
+        let m = Map2::poisson(1.0).unwrap();
+        let net = ClosedMapNetwork::tandem(1, 1.0, vec![m, m]).unwrap();
+        // Wrong shape.
+        assert!(net.clone().routing(vec![vec![0.5]]).is_err());
+        // Negative entry.
+        assert!(net
+            .clone()
+            .routing(vec![vec![-0.1, 0.0], vec![0.0, 0.0]])
+            .is_err());
+        // Row sum above 1.
+        assert!(net
+            .clone()
+            .routing(vec![vec![0.7, 0.7], vec![0.0, 0.0]])
+            .is_err());
+        // A proper sub-stochastic matrix is accepted.
+        assert!(net.routing(vec![vec![0.0, 1.0], vec![0.2, 0.0]]).is_ok());
+    }
+
+    #[test]
+    fn three_station_tandem_light_load_matches_demand() {
+        // One customer through web + app + db: X = 1 / (Z + sum demands).
+        let stations = vec![
+            Map2::poisson(1.0 / 0.01).unwrap(),
+            Map2::poisson(1.0 / 0.02).unwrap(),
+            Map2::poisson(1.0 / 0.03).unwrap(),
+        ];
+        let net = ClosedMapNetwork::tandem(1, 0.45, stations).unwrap();
+        let r = net.run(4000.0, 100.0, 5).unwrap();
+        let expected = 1.0 / (0.45 + 0.01 + 0.02 + 0.03);
+        assert!(
+            (r.throughput - expected).abs() / expected < 0.05,
+            "X = {} vs {expected}",
+            r.throughput
+        );
+        assert_eq!(r.utilization.len(), 3);
+        assert_eq!(r.mean_jobs.len(), 3);
+        // Scalar mirrors point at the first/last stations.
+        assert_eq!(r.utilization_front, r.utilization[0]);
+        assert_eq!(r.utilization_db, r.utilization[2]);
+        // Utilization law per station: U_i = X * S_i.
+        for (i, &s) in [0.01, 0.02, 0.03].iter().enumerate() {
+            assert!(
+                (r.utilization[i] - r.throughput * s).abs() < 0.01,
+                "station {i}: U = {} vs X*S = {}",
+                r.utilization[i],
+                r.throughput * s
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_tandem_routing_matches_implicit_tandem_statistically() {
+        // routing [[0,1],[0,0]] is the tandem chain; the explicit-matrix
+        // path must agree with the implicit one within simulation noise.
+        let front = Map2::poisson(1.0 / 0.01).unwrap();
+        let db = Map2::poisson(1.0 / 0.004).unwrap();
+        let tandem = ClosedMapNetwork::new(20, 0.1, front, db).unwrap();
+        let routed = tandem
+            .clone()
+            .routing(vec![vec![0.0, 1.0], vec![0.0, 0.0]])
+            .unwrap();
+        let a = tandem.run(800.0, 80.0, 13).unwrap();
+        let b = routed.run(800.0, 80.0, 13).unwrap();
+        assert!(
+            (a.throughput - b.throughput).abs() / a.throughput < 0.05,
+            "tandem X = {} vs routed X = {}",
+            a.throughput,
+            b.throughput
+        );
+        assert!((a.utilization_db - b.utilization_db).abs() < 0.05);
+    }
+
+    #[test]
+    fn feedback_routing_doubles_effective_demand() {
+        // Single station, route-back probability 1/2: mean visits per pass
+        // is 2, so with one customer X = 1 / (Z + 2 S).
+        let st = Map2::poisson(1.0 / 0.05).unwrap();
+        let net = ClosedMapNetwork::tandem(1, 0.4, vec![st])
+            .unwrap()
+            .routing(vec![vec![0.5]])
+            .unwrap();
+        let r = net.run(6000.0, 200.0, 9).unwrap();
+        let expected = 1.0 / (0.4 + 2.0 * 0.05);
+        assert!(
+            (r.throughput - expected).abs() / expected < 0.05,
+            "X = {} vs {expected}",
+            r.throughput
+        );
+        // The station sees every feedback visit: its completion rate is
+        // twice the think-exit throughput.
+        assert!(
+            (r.completion_rates[0] - 2.0 * r.throughput).abs() / r.throughput < 0.1,
+            "station rate {} vs 2x throughput {}",
+            r.completion_rates[0],
+            2.0 * r.throughput
+        );
+    }
+
+    #[test]
+    fn tandem_completion_rates_match_throughput() {
+        let front = Map2::poisson(1.0 / 0.01).unwrap();
+        let db = Map2::poisson(1.0 / 0.004).unwrap();
+        let r = ClosedMapNetwork::new(20, 0.1, front, db)
+            .unwrap()
+            .run(800.0, 80.0, 13)
+            .unwrap();
+        for (i, &rate) in r.completion_rates.iter().enumerate() {
+            assert!(
+                (rate - r.throughput).abs() / r.throughput < 0.02,
+                "station {i}: rate {rate} vs X {}",
+                r.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn per_station_streams_are_disjoint() {
+        // Station i's MAP stream is derive(seed, CLOSED_MAP_NETWORK_STREAM,
+        // 1 + i): distinct per station and distinct from the think stream.
+        let s = 33;
+        let think = seeds::derive(s, seeds::CLOSED_MAP_NETWORK_STREAM, 0);
+        let st0 = seeds::derive(s, seeds::CLOSED_MAP_NETWORK_STREAM, 1);
+        let st1 = seeds::derive(s, seeds::CLOSED_MAP_NETWORK_STREAM, 2);
+        assert_ne!(think, st0);
+        assert_ne!(think, st1);
+        assert_ne!(st0, st1);
     }
 
     #[test]

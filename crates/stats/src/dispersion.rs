@@ -315,7 +315,56 @@ impl DispersionEstimator {
 /// consecutive busy times until at least `t` seconds of busy time accumulate,
 /// and record the total completion count. Windows that run off the end of the
 /// trace before reaching `t` are discarded.
-fn aggregate_counts(busy: &[f64], completions: &[u64], t: f64) -> Vec<f64> {
+///
+/// Runs in `O(n)` per aggregation level with a sliding window: the busy
+/// accumulator is carried from start `k` to start `k + 1` by subtracting
+/// `busy[k]` and extending the right edge (which only ever moves forward,
+/// busy times being non-negative), and completion counts come from an exact
+/// integer prefix sum. The naive rescan-from-every-start variant this
+/// replaces — `O(n * w)` with `w` the window span, i.e. `O(n^2)` per level
+/// on long traces where the spans grow with the level — is retained as
+/// [`aggregate_counts_naive`] for equivalence testing and benchmarking.
+///
+/// Floating-point note: the accumulator is updated incrementally
+/// (`acc - busy[k]`) rather than re-summed per start, so window boundaries
+/// can in principle differ from the naive rescan by one ulp of rounding on
+/// adversarial inputs; the equivalence tests pin exact agreement on
+/// realistic (including long random) traces.
+pub fn aggregate_counts(busy: &[f64], completions: &[u64], t: f64) -> Vec<f64> {
+    let k_max = busy.len();
+    // Exact prefix sums of the integer completion counts: count of window
+    // [k, j) is prefix[j] - prefix[k], with no float error.
+    let mut prefix: Vec<u64> = Vec::with_capacity(k_max + 1);
+    prefix.push(0);
+    for &c in completions {
+        prefix.push(prefix.last().expect("non-empty") + c);
+    }
+
+    let mut out = Vec::with_capacity(k_max);
+    let mut acc = 0.0_f64;
+    let mut j = 0usize; // exclusive right edge of the current window
+    for k in 0..k_max {
+        // Extend the right edge until the window holds t busy-seconds. j
+        // never moves left: shrinking the left edge only removes busy time.
+        while j < k_max && acc < t {
+            acc += busy[j];
+            j += 1;
+        }
+        if acc < t {
+            // Every later start would also run out of busy time.
+            break;
+        }
+        out.push((prefix[j] - prefix[k]) as f64);
+        acc -= busy[k];
+    }
+    out
+}
+
+/// The original `O(n * w)` reference implementation of
+/// [`aggregate_counts`]: rescans forward from every starting window.
+/// Retained for exact-equivalence tests and as the benchmark baseline.
+#[doc(hidden)]
+pub fn aggregate_counts_naive(busy: &[f64], completions: &[u64], t: f64) -> Vec<f64> {
     let k_max = busy.len();
     let mut out = Vec::with_capacity(k_max);
     for k in 0..k_max {
@@ -565,6 +614,60 @@ mod tests {
         let est = index_of_dispersion_counting(&trace, 25.0, 0.2).unwrap();
         let windows: Vec<usize> = est.curve().iter().map(|p| p.windows).collect();
         assert!(windows.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn aggregate_counts_matches_naive_exactly() {
+        // The sliding-window rewrite must reproduce the naive rescan
+        // bit-for-bit: long random busy/count series across many window
+        // sizes, plus structured corner cases.
+        let mut rng = Rng(0xFEED);
+        let n = 30_000;
+        let busy: Vec<f64> = (0..n).map(|_| rng.next_f64() * 5.0).collect();
+        let counts: Vec<u64> = (0..n).map(|_| (rng.next_f64() * 40.0) as u64).collect();
+        for level in [1usize, 2, 3, 7, 20, 100, 500] {
+            let t = level as f64 * 2.5;
+            let fast = aggregate_counts(&busy, &counts, t);
+            let naive = aggregate_counts_naive(&busy, &counts, t);
+            assert_eq!(fast, naive, "level {level}");
+            assert!(!fast.is_empty(), "level {level} should produce windows");
+        }
+    }
+
+    #[test]
+    fn aggregate_counts_matches_naive_on_corner_cases() {
+        // Zero busy times interleaved (idle windows), exact-threshold hits,
+        // and a window larger than the whole trace.
+        let busy = vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 1.0, 1.0];
+        let counts = vec![5u64, 0, 9, 0, 0, 12, 3, 4];
+        for t in [0.5, 1.0, 2.0, 3.0, 4.0, 8.0, 100.0] {
+            assert_eq!(
+                aggregate_counts(&busy, &counts, t),
+                aggregate_counts_naive(&busy, &counts, t),
+                "t = {t}"
+            );
+        }
+        // All-idle trace: no window ever fills.
+        assert!(aggregate_counts(&[0.0; 10], &[0; 10], 1.0).is_empty());
+        assert!(aggregate_counts_naive(&[0.0; 10], &[0; 10], 1.0).is_empty());
+        // Empty input.
+        assert!(aggregate_counts(&[], &[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn aggregate_counts_windows_hold_enough_busy_time() {
+        // Every emitted window [k, j) accumulates at least t busy-seconds
+        // and drops the final starts that cannot.
+        let busy = vec![0.5; 50]; // exactly representable: sums carry no error
+        let counts: Vec<u64> = (0..50).collect();
+        let t = 2.0; // four windows of 0.5 each
+        let out = aggregate_counts(&busy, &counts, t);
+        assert_eq!(out.len(), 47);
+        // Window starting at k covers counts k..k+4.
+        for (k, &c) in out.iter().enumerate() {
+            let expect: u64 = (k as u64..k as u64 + 4).sum();
+            assert_eq!(c, expect as f64, "window {k}");
+        }
     }
 
     #[test]

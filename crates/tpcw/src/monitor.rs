@@ -9,7 +9,11 @@ use crate::TpcwError;
 /// Which tier a monitoring series refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TierId {
-    /// Front (web + application) server.
+    /// Dedicated web (HTTP) server — present only in three-tier runs
+    /// ([`crate::testbed::Topology::ThreeTier`]).
+    Web,
+    /// Front (application) server; in the default two-tier topology it
+    /// plays the paper's combined "web + application" role.
     Front,
     /// Database server.
     Db,
@@ -38,6 +42,15 @@ pub struct TestbedRun {
     pub think_time: f64,
     /// Measured interval length (seconds, after trimming).
     pub measured_seconds: f64,
+    /// Web-server utilization at the fine resolution — empty for two-tier
+    /// runs.
+    pub web_util: Vec<f64>,
+    /// Web-server request completions per coarse window — empty for
+    /// two-tier runs.
+    pub web_completions: Vec<u64>,
+    /// Mean web-server queue length per fine window — empty for two-tier
+    /// runs.
+    pub web_queue: Vec<f64>,
     /// Front-server utilization at the fine (sar-like) resolution.
     pub fs_util: Vec<f64>,
     /// Database utilization at the fine resolution.
@@ -92,9 +105,16 @@ impl TestbedRun {
             });
         }
         let (fine, counts) = match tier {
+            TierId::Web => (&self.web_util, &self.web_completions),
             TierId::Front => (&self.fs_util, &self.fs_completions),
             TierId::Db => (&self.db_util, &self.db_completions),
         };
+        if fine.is_empty() {
+            // A two-tier run has no web series.
+            return Err(TpcwError::NoObservations {
+                what: "web-tier monitoring (run the three-tier topology)",
+            });
+        }
         let windows = fine.len() / step;
         if windows == 0 {
             return Err(TpcwError::NoObservations {
@@ -115,6 +135,7 @@ impl TestbedRun {
     /// Mean utilization of a tier over the measured interval.
     pub fn mean_utilization(&self, tier: TierId) -> f64 {
         let series = match tier {
+            TierId::Web => &self.web_util,
             TierId::Front => &self.fs_util,
             TierId::Db => &self.db_util,
         };
@@ -135,6 +156,9 @@ mod tests {
             ebs: 10,
             think_time: 0.5,
             measured_seconds: 10.0,
+            web_util: vec![],
+            web_completions: vec![],
+            web_queue: vec![],
             fs_util: vec![0.2, 0.4, 0.6, 0.8, 1.0, 0.0, 0.5, 0.5, 0.1, 0.9],
             db_util: vec![0.1; 10],
             fs_completions: vec![10, 20],
@@ -183,5 +207,22 @@ mod tests {
     fn mean_utilization_averages() {
         let run = dummy_run();
         assert!((run.mean_utilization(TierId::Db) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tier_run_has_no_web_monitoring() {
+        let run = dummy_run();
+        assert!(run.monitoring(TierId::Web).is_err());
+        assert_eq!(run.mean_utilization(TierId::Web), 0.0);
+    }
+
+    #[test]
+    fn web_series_rebins_like_the_others() {
+        let mut run = dummy_run();
+        run.web_util = vec![0.3; 10];
+        run.web_completions = vec![7, 9];
+        let m = run.monitoring(TierId::Web).unwrap();
+        assert!((m.utilization[0] - 0.3).abs() < 1e-12);
+        assert_eq!(m.completions, vec![7, 9]);
     }
 }

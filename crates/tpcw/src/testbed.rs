@@ -28,11 +28,44 @@ use crate::monitor::TestbedRun;
 use crate::transactions::TxType;
 use crate::TpcwError;
 
+/// Tier layout of the emulated deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Topology {
+    /// The paper's two-tier layout: a combined web+application front
+    /// server and a database server.
+    #[default]
+    TwoTier,
+    /// Three tiers: a dedicated web (HTTP) server in front of the
+    /// application server and the database. Every transaction passes the
+    /// web tier once before its application/database phase — the scenario
+    /// that exercises the N-station model end to end.
+    ThreeTier {
+        /// Mean web-server demand per transaction (seconds).
+        web_demand: f64,
+        /// SCV of the per-transaction web work (>= 1/2).
+        web_scv: f64,
+    },
+}
+
+impl Topology {
+    /// A three-tier layout with a light HTTP tier: 2 ms mean demand at
+    /// mild variability — small against the application/database demands,
+    /// like a static-content server in front of a TPC-W deployment.
+    pub fn three_tier_default() -> Self {
+        Topology::ThreeTier {
+            web_demand: 0.002,
+            web_scv: 1.2,
+        }
+    }
+}
+
 /// Configuration of one testbed experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TestbedConfig {
     /// Transaction mix.
     pub mix: Mix,
+    /// Tier layout (two-tier by default; see [`Topology`]).
+    pub topology: Topology,
     /// Number of emulated browsers (constant through the run, per TPC-W).
     pub ebs: usize,
     /// Mean exponential think time (the paper uses `Z = 0.5 s` for model
@@ -65,6 +98,7 @@ impl TestbedConfig {
     pub fn new(mix: Mix, ebs: usize) -> Self {
         TestbedConfig {
             mix,
+            topology: Topology::TwoTier,
             ebs,
             think_time: 0.5,
             duration: 600.0,
@@ -77,6 +111,12 @@ impl TestbedConfig {
             util_resolution: 1.0,
             count_resolution: 5.0,
         }
+    }
+
+    /// Set the tier layout.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Set the think time.
@@ -150,6 +190,24 @@ impl TestbedConfig {
                 reason: "two-phase PH work distributions need scv >= 1/2".into(),
             });
         }
+        if let Topology::ThreeTier {
+            web_demand,
+            web_scv,
+        } = self.topology
+        {
+            if web_demand <= 0.0 || !web_demand.is_finite() {
+                return Err(TpcwError::InvalidParameter {
+                    name: "web_demand",
+                    reason: format!("must be positive and finite, got {web_demand}"),
+                });
+            }
+            if web_scv < 0.5 {
+                return Err(TpcwError::InvalidParameter {
+                    name: "web_scv",
+                    reason: "two-phase PH work distributions need scv >= 1/2".into(),
+                });
+            }
+        }
         self.contention
             .validate()
             .map_err(|reason| TpcwError::InvalidParameter {
@@ -166,6 +224,10 @@ impl TestbedConfig {
 /// Which stage a transaction is currently in.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Stage {
+    /// Passing the dedicated web tier (three-tier topology only); the
+    /// application/database phase with `remaining_queries` DB queries
+    /// follows.
+    Web { remaining_queries: u32 },
     /// Running a front-server slice; `remaining_queries` DB queries left.
     Front { remaining_queries: u32 },
     /// Waiting on a database query; returns to the front afterwards.
@@ -188,6 +250,7 @@ struct Job {
 #[derive(Debug, Clone, Copy)]
 enum Event {
     ThinkEnd { eb: usize },
+    WebCompletion { generation: u64 },
     FrontCompletion { generation: u64 },
     DbCompletion { generation: u64 },
 }
@@ -242,20 +305,25 @@ impl Testbed {
             SmallRng::seed_from_u64(seeds::derive(cfg.seed, seeds::TESTBED_STREAM, index));
         let mut calendar: EventQueue<Event> = EventQueue::new();
 
+        let mut web = PsServer::new();
         let mut front = PsServer::new();
         let mut db = PsServer::new();
         let mut shared = SharedResource::new(cfg.contention);
         let mut jobs: HashMap<u64, Job> = HashMap::new();
         let mut next_job_id: u64 = 0;
+        let three_tier = matches!(cfg.topology, Topology::ThreeTier { .. });
 
         // Per-EB navigation state.
         let mut eb_type: Vec<TxType> = vec![TxType::Home; cfg.ebs];
 
         // Monitoring.
+        let mut web_busy = BusyRecorder::new(cfg.util_resolution);
         let mut fs_busy = BusyRecorder::new(cfg.util_resolution);
         let mut db_busy = BusyRecorder::new(cfg.util_resolution);
+        let mut web_counts = CountRecorder::new(cfg.count_resolution);
         let mut fs_counts = CountRecorder::new(cfg.count_resolution);
         let mut db_counts = CountRecorder::new(cfg.count_resolution);
+        let mut web_queue_rec = QueueLengthRecorder::new(cfg.util_resolution);
         let mut fs_queue_rec = QueueLengthRecorder::new(cfg.util_resolution);
         let mut db_queue_rec = QueueLengthRecorder::new(cfg.util_resolution);
         let mut type_rec: Vec<QueueLengthRecorder> = (0..14)
@@ -263,6 +331,7 @@ impl Testbed {
             .collect();
         let mut in_system = [0u32; 14];
         let mut best_sellers_resident: usize = 0;
+        let mut web_busy_since: Option<f64> = None;
         let mut fs_busy_since: Option<f64> = None;
         let mut db_busy_since: Option<f64> = None;
         let mut responses = ResponseTally::new();
@@ -273,6 +342,13 @@ impl Testbed {
         // Work distributions are parameterized per type at run start.
         let fs_slice_dist = |mean: f64| Ph2::from_mean_scv(mean, cfg.fs_scv);
         let db_query_dist = |mean: f64| Ph2::from_mean_scv(mean, cfg.db_scv);
+        let web_dist = match cfg.topology {
+            Topology::TwoTier => None,
+            Topology::ThreeTier {
+                web_demand,
+                web_scv,
+            } => Some(Ph2::from_mean_scv(web_demand, web_scv).expect("validated scv")),
+        };
 
         // All EBs start thinking.
         for eb in 0..cfg.ebs {
@@ -302,6 +378,15 @@ impl Testbed {
 
                     let id = next_job_id;
                     next_job_id += 1;
+                    let stage = if three_tier {
+                        Stage::Web {
+                            remaining_queries: queries,
+                        }
+                    } else {
+                        Stage::Front {
+                            remaining_queries: queries,
+                        }
+                    };
                     jobs.insert(
                         id,
                         Job {
@@ -309,20 +394,59 @@ impl Testbed {
                             tx,
                             started: now,
                             slice_work,
-                            stage: Stage::Front {
-                                remaining_queries: queries,
-                            },
+                            stage,
                         },
                     );
                     in_system[tx.index()] += 1;
                     type_rec[tx.index()].update(now, in_system[tx.index()] as f64);
 
+                    if let Some(dist) = &web_dist {
+                        // Three tiers: the request passes the web server
+                        // before its application/database phase.
+                        let web_work = dist.sample(&mut rng);
+                        if web.is_empty() {
+                            web_busy_since = Some(now);
+                        }
+                        web.arrive(now, id, web_work);
+                        web_queue_rec.update(now, web.len() as f64);
+                        schedule_completion(&mut calendar, &web, now, Server::Web);
+                    } else {
+                        if front.is_empty() {
+                            fs_busy_since = Some(now);
+                        }
+                        front.arrive(now, id, slice_work);
+                        fs_queue_rec.update(now, front.len() as f64);
+                        schedule_completion(&mut calendar, &front, now, Server::Front);
+                    }
+                }
+                Event::WebCompletion { generation } => {
+                    if generation != web.generation() || web.is_empty() {
+                        continue;
+                    }
+                    let done = web.complete(now);
+                    web_queue_rec.update(now, web.len() as f64);
+                    if web.is_empty() {
+                        if let Some(since) = web_busy_since.take() {
+                            web_busy.add_busy(since, now);
+                        }
+                    } else {
+                        schedule_completion(&mut calendar, &web, now, Server::Web);
+                    }
+                    web_counts.record(now);
+
+                    let job = jobs.get_mut(&done.id).expect("job metadata exists");
+                    let Stage::Web { remaining_queries } = job.stage else {
+                        unreachable!("web completion for a job not at the web tier");
+                    };
+                    // Hand the request to the application server.
+                    job.stage = Stage::Front { remaining_queries };
+                    let slice = job.slice_work;
                     if front.is_empty() {
                         fs_busy_since = Some(now);
                     }
-                    front.arrive(now, id, slice_work);
+                    front.arrive(now, done.id, slice);
                     fs_queue_rec.update(now, front.len() as f64);
-                    schedule_completion(&mut calendar, &front, now, true);
+                    schedule_completion(&mut calendar, &front, now, Server::Front);
                 }
                 Event::FrontCompletion { generation } => {
                     if generation != front.generation() || front.is_empty() {
@@ -335,7 +459,7 @@ impl Testbed {
                             fs_busy.add_busy(since, now);
                         }
                     } else {
-                        schedule_completion(&mut calendar, &front, now, true);
+                        schedule_completion(&mut calendar, &front, now, Server::Front);
                     }
 
                     let job = jobs.get_mut(&done.id).expect("job metadata exists");
@@ -371,7 +495,7 @@ impl Testbed {
                         }
                         db.arrive(now, done.id, work);
                         db_queue_rec.update(now, db.len() as f64);
-                        schedule_completion(&mut calendar, &db, now, false);
+                        schedule_completion(&mut calendar, &db, now, Server::Db);
                     } else {
                         // Transaction complete.
                         let job = jobs.remove(&done.id).expect("job metadata exists");
@@ -397,7 +521,7 @@ impl Testbed {
                             db_busy.add_busy(since, now);
                         }
                     } else {
-                        schedule_completion(&mut calendar, &db, now, false);
+                        schedule_completion(&mut calendar, &db, now, Server::Db);
                     }
 
                     let job = jobs.get_mut(&done.id).expect("job metadata exists");
@@ -425,12 +549,15 @@ impl Testbed {
                     }
                     front.arrive(now, done.id, slice);
                     fs_queue_rec.update(now, front.len() as f64);
-                    schedule_completion(&mut calendar, &front, now, true);
+                    schedule_completion(&mut calendar, &front, now, Server::Front);
                 }
             }
         }
 
         // Close accumulators at the horizon.
+        if let Some(since) = web_busy_since {
+            web_busy.add_busy(since, cfg.duration);
+        }
         if let Some(since) = fs_busy_since {
             fs_busy.add_busy(since, cfg.duration);
         }
@@ -463,6 +590,21 @@ impl Testbed {
             ebs: cfg.ebs,
             think_time: cfg.think_time,
             measured_seconds,
+            web_util: if three_tier {
+                trim_f64(web_busy.utilization(cfg.duration))
+            } else {
+                Vec::new()
+            },
+            web_completions: if three_tier {
+                trim_u64(web_counts.counts(cfg.duration))
+            } else {
+                Vec::new()
+            },
+            web_queue: if three_tier {
+                trim_f64(web_queue_rec.series(cfg.duration))
+            } else {
+                Vec::new()
+            },
             fs_util: trim_f64(fs_busy.utilization(cfg.duration)),
             db_util: trim_f64(db_busy.utilization(cfg.duration)),
             fs_completions: trim_u64(fs_counts.counts(cfg.duration)),
@@ -512,18 +654,21 @@ impl Testbed {
     }
 }
 
-fn schedule_completion(
-    calendar: &mut EventQueue<Event>,
-    server: &PsServer,
-    now: f64,
-    is_front: bool,
-) {
+/// Which processor-sharing server a completion event belongs to.
+#[derive(Debug, Clone, Copy)]
+enum Server {
+    Web,
+    Front,
+    Db,
+}
+
+fn schedule_completion(calendar: &mut EventQueue<Event>, server: &PsServer, now: f64, who: Server) {
     if let Some(t) = server.next_completion(now) {
         let generation = server.generation();
-        let event = if is_front {
-            Event::FrontCompletion { generation }
-        } else {
-            Event::DbCompletion { generation }
+        let event = match who {
+            Server::Web => Event::WebCompletion { generation },
+            Server::Front => Event::FrontCompletion { generation },
+            Server::Db => Event::DbCompletion { generation },
         };
         calendar.schedule(t, event);
     }
@@ -675,6 +820,90 @@ mod tests {
     fn response_p95_exceeds_mean() {
         let run = quick(Mix::Browsing, 50, 11);
         assert!(run.response_p95 > run.response_mean);
+    }
+
+    #[test]
+    fn three_tier_config_validation() {
+        let bad_demand = TestbedConfig::new(Mix::Browsing, 10).topology(Topology::ThreeTier {
+            web_demand: 0.0,
+            web_scv: 1.2,
+        });
+        assert!(Testbed::new(bad_demand).is_err());
+        let bad_scv = TestbedConfig::new(Mix::Browsing, 10).topology(Topology::ThreeTier {
+            web_demand: 0.002,
+            web_scv: 0.1,
+        });
+        assert!(Testbed::new(bad_scv).is_err());
+        assert!(Testbed::new(
+            TestbedConfig::new(Mix::Browsing, 10).topology(Topology::three_tier_default())
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn two_tier_runs_have_no_web_series() {
+        let run = quick(Mix::Shopping, 10, 3);
+        assert!(run.web_util.is_empty());
+        assert!(run.web_completions.is_empty());
+        assert!(run.web_queue.is_empty());
+        assert!(run.monitoring(TierId::Web).is_err());
+    }
+
+    fn quick3(mix: Mix, ebs: usize, seed: u64) -> TestbedRun {
+        Testbed::new(
+            TestbedConfig::new(mix, ebs)
+                .topology(Topology::three_tier_default())
+                .duration(240.0)
+                .seed(seed),
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn three_tier_light_load_includes_web_demand() {
+        // 1 EB: X = 1 / (Z + D_web + D_fs + D_db_effective).
+        let run = quick3(Mix::Ordering, 1, 1);
+        let d = 0.002 + Mix::Ordering.mean_front_demand() + Mix::Ordering.mean_db_demand();
+        let expected = 1.0 / (0.5 + d);
+        assert!(
+            (run.throughput - expected).abs() / expected < 0.1,
+            "X = {} vs {expected}",
+            run.throughput
+        );
+    }
+
+    #[test]
+    fn three_tier_web_monitoring_is_usable() {
+        let run = quick3(Mix::Shopping, 40, 4);
+        // Same series lengths as the other tiers.
+        assert_eq!(run.web_util.len(), run.fs_util.len());
+        assert_eq!(run.web_completions.len(), run.fs_completions.len());
+        let m = run.monitoring(TierId::Web).unwrap();
+        assert_eq!(m.utilization.len(), m.completions.len());
+        // Utilization-law regression on the web tier recovers ~2 ms.
+        let d = burstcap_stats::regression::estimate_demand(
+            &m.utilization,
+            &m.completions,
+            m.resolution,
+        )
+        .unwrap();
+        assert!(
+            (d.mean_service_time - 0.002).abs() / 0.002 < 0.3,
+            "regressed web demand {} vs configured 0.002",
+            d.mean_service_time
+        );
+        // The light web tier sits well below the app tier's utilization.
+        assert!(run.mean_utilization(TierId::Web) < run.mean_utilization(TierId::Front));
+    }
+
+    #[test]
+    fn three_tier_is_deterministic_per_seed() {
+        let a = quick3(Mix::Browsing, 20, 7);
+        let b = quick3(Mix::Browsing, 20, 7);
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.web_util, b.web_util);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Three-tier quickstart: web + app + db through the full N-station
+//! pipeline.
+//!
+//! Run with `cargo run --example three_tier`.
+//!
+//! The three-tier TPC-W testbed emulates a dedicated web (HTTP) server in
+//! front of the application server and the database. Its monitoring output
+//! feeds the same methodology as the two-tier model — characterize each
+//! tier, fit a MAP(2) per tier — but the what-if model is now a closed
+//! tandem of **three** MAP stations, solved exactly. The prediction is then
+//! cross-checked against an independent discrete-event simulation of the
+//! same three-station network.
+
+use burstcap::measurements::TierMeasurements;
+use burstcap::planner::{CapacityPlanner, MvaBaseline, PlannerOptions};
+use burstcap_qn::mapqn::MapNetwork;
+use burstcap_sim::queues::ClosedMapNetwork;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::TierId;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig, Topology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Run the three-tier testbed and collect monitoring data -------
+    let config = TestbedConfig::new(Mix::Shopping, 60)
+        .topology(Topology::three_tier_default())
+        .duration(900.0)
+        .seed(42);
+    let run = Testbed::new(config)?.run()?;
+    println!(
+        "testbed: X = {:.1} tx/s, U_web = {:.2}, U_app = {:.2}, U_db = {:.2}",
+        run.throughput,
+        run.mean_utilization(TierId::Web),
+        run.mean_utilization(TierId::Front),
+        run.mean_utilization(TierId::Db)
+    );
+
+    // --- 2. Characterize every tier and fit one MAP(2) per tier ----------
+    let tier = |id| -> Result<TierMeasurements, Box<dyn std::error::Error>> {
+        let m = run.monitoring(id)?;
+        Ok(TierMeasurements::new(
+            m.resolution,
+            m.utilization,
+            m.completions,
+        )?)
+    };
+    let (web, app, db) = (tier(TierId::Web)?, tier(TierId::Front)?, tier(TierId::Db)?);
+    let planner =
+        CapacityPlanner::from_tier_measurements(&[&web, &app, &db], PlannerOptions::default())?;
+    for (name, c) in ["web", "app", "db "]
+        .iter()
+        .zip(planner.tier_characterizations())
+    {
+        println!(
+            "{name}: mean = {:.2} ms, I = {:.1}, p95 = {:.2} ms",
+            c.mean_service_time * 1e3,
+            c.index_of_dispersion,
+            c.p95_service_time * 1e3
+        );
+    }
+
+    // --- 3. Predict a what-if sweep against the three-tier MVA baseline --
+    let mva = MvaBaseline::from_demand_vector(
+        planner
+            .tier_characterizations()
+            .iter()
+            .map(|c| c.mean_service_time)
+            .collect(),
+    )?;
+    println!("\n{:>6} {:>14} {:>14}", "EBs", "burst-aware", "MVA");
+    for ebs in [20, 40, 60] {
+        let p = planner.predict(ebs, 0.5)?;
+        let b = mva.predict(ebs, 0.5)?;
+        println!("{ebs:>6} {:>14.1} {:>14.1}", p.throughput, b.throughput);
+    }
+
+    // --- 4. Cross-validate the model against an independent simulation ---
+    let stations: Vec<_> = planner.tier_fits().iter().map(|f| f.map()).collect();
+    let pop = 40;
+    let exact = MapNetwork::tandem(pop, 0.5, stations.clone())?.solve_auto(10_000)?;
+    let sim = ClosedMapNetwork::tandem(pop, 0.5, stations)?.run(2000.0, 200.0, 7)?;
+    println!(
+        "\ncross-check at {pop} EBs: exact X = {:.1}, simulated X = {:.1} \
+         (gap {:.1}%)",
+        exact.throughput,
+        sim.throughput,
+        100.0 * (exact.throughput - sim.throughput).abs() / exact.throughput
+    );
+    println!(
+        "per-station utilization (exact): web {:.2}, app {:.2}, db {:.2}",
+        exact.utilization[0], exact.utilization[1], exact.utilization[2]
+    );
+    Ok(())
+}
