@@ -24,6 +24,7 @@
 
 use std::time::Instant;
 
+use burstcap_bench::json::{JsonObject, JsonValue};
 use burstcap_map::fit::Map2Fitter;
 use burstcap_qn::ctmc::SteadyStateMethod;
 use burstcap_qn::mapqn::{MapNetwork, MapQnSolution};
@@ -186,39 +187,56 @@ fn main() {
          throughput agreement {agreement:.2e}"
     );
 
-    // Hand-rolled JSON: the vendored serde shim has no serializer, and the
-    // schema is flat enough that formatting it directly stays readable.
-    let mut rows = String::new();
-    for (i, r) in records.iter().enumerate() {
-        let sep = if i + 1 == records.len() { "" } else { "," };
-        rows.push_str(&format!(
-            "    {{\"stations\": {}, \"population\": {}, \"states\": {}, \"transitions\": {}, \
-             \"method\": \"{}\", \"median_ms\": {:.3}, \"throughput\": {:.6}}}{}\n",
-            r.stations,
-            r.population,
-            r.states,
-            r.transitions,
-            r.method,
-            r.median_ms,
-            r.throughput,
-            sep
-        ));
-    }
-    let json = format!(
-        "{{\n  \"bench\": \"bench_baseline\",\n  \"seed\": {seed},\n  \
-         \"front_map\": {{\"mean\": 0.01, \"index_of_dispersion\": 8.0, \"p95\": 0.03}},\n  \
-         \"db_map\": {{\"mean\": 0.008, \"index_of_dispersion\": 12.0, \"p95\": 0.02}},\n  \
-         \"extra_tier_map\": {{\"mean\": 0.004, \"index_of_dispersion\": 4.0, \"p95\": 0.012}},\n  \
-         \"think_time\": {think},\n  \"repetitions\": {reps},\n  \
-         \"largest_dense_feasible\": {{\"population\": {largest}, \"states\": {largest_states}, \
-         \"dense_lu_ms\": {dense_at_largest:.3}, \"sparse_ms\": {sparse_at_largest:.3}, \
-         \"speedup\": {speedup:.2}, \"throughput_rel_gap\": {agreement:.3e}}},\n  \
-         \"three_station_point\": {{\"stations\": 3, \"population\": {m3_pop}, \
-         \"states\": {m3_states}, \"solve_auto_ms\": {m3_ms:.3}, \"throughput\": {m3_x:.6}}},\n  \
-         \"results\": [\n{rows}  ]\n}}\n",
-        seed = burstcap_bench::BASE_SEED,
-        m3_pop = STATION_GRID[1].1[1],
-    );
-    std::fs::write(&out_path, json).expect("write benchmark snapshot");
-    println!("wrote {out_path}");
+    // Shared deterministic JSON writer (the vendored serde shim has no
+    // serializer): every float carries an explicit precision, one field per
+    // line.
+    let map_obj = |mean: f64, i: f64, p95: f64| {
+        JsonObject::new()
+            .field("mean", JsonValue::f(mean, 3))
+            .field("index_of_dispersion", JsonValue::f(i, 1))
+            .field("p95", JsonValue::f(p95, 3))
+    };
+    let rows: Vec<JsonValue> = records
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .field("stations", r.stations)
+                .field("population", r.population)
+                .field("states", r.states)
+                .field("transitions", r.transitions)
+                .field("method", r.method)
+                .field("median_ms", JsonValue::f(r.median_ms, 3))
+                .field("throughput", JsonValue::f(r.throughput, 6))
+                .into()
+        })
+        .collect();
+    let report = JsonObject::new()
+        .field("bench", "bench_baseline")
+        .field("seed", burstcap_bench::BASE_SEED)
+        .field("front_map", map_obj(0.01, 8.0, 0.03))
+        .field("db_map", map_obj(0.008, 12.0, 0.02))
+        .field("extra_tier_map", map_obj(0.004, 4.0, 0.012))
+        .field("think_time", JsonValue::f(think, 2))
+        .field("repetitions", reps)
+        .field(
+            "largest_dense_feasible",
+            JsonObject::new()
+                .field("population", largest)
+                .field("states", largest_states)
+                .field("dense_lu_ms", JsonValue::f(dense_at_largest, 3))
+                .field("sparse_ms", JsonValue::f(sparse_at_largest, 3))
+                .field("speedup", JsonValue::f(speedup, 2))
+                .field("throughput_rel_gap", JsonValue::sci(agreement, 3)),
+        )
+        .field(
+            "three_station_point",
+            JsonObject::new()
+                .field("stations", 3_usize)
+                .field("population", STATION_GRID[1].1[1])
+                .field("states", m3_states)
+                .field("solve_auto_ms", JsonValue::f(m3_ms, 3))
+                .field("throughput", JsonValue::f(m3_x, 6)),
+        )
+        .field("results", rows);
+    burstcap_bench::json::write_report(&out_path, &report);
 }

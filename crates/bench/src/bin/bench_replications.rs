@@ -23,6 +23,7 @@
 use std::time::Instant;
 
 use burstcap::experiment::Replications;
+use burstcap_bench::json::{JsonObject, JsonValue};
 use burstcap_bench::BASE_SEED;
 use burstcap_stats::ci::mean_ci;
 use burstcap_tpcw::contention::ContentionConfig;
@@ -203,40 +204,40 @@ fn main() {
          aggregates bit-identical"
     );
 
-    // Hand-rolled JSON (the vendored serde shim has no serializer). The
-    // deterministic scenario/aggregate fields and the wall-clock fields
-    // live on separate lines so CI can diff the former across runs.
-    let mut body = String::new();
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        body.push_str(&format!(
-            "    {{\"mix\": \"{}\", \"ebs\": {}, \"contention\": \"{}\", \
-             \"replications\": {}, \"throughput_mean\": {:.9}, \
-             \"throughput_half_width\": {:.9}, \"response_mean\": {:.9}, \
-             \"util_db_mean\": {:.9},\n     \
-             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}}}{}\n",
-            r.mix,
-            r.ebs,
-            r.contention,
-            r.replications,
-            r.throughput_mean,
-            r.throughput_half_width,
-            r.response_mean,
-            r.util_db_mean,
-            r.serial_ms,
-            r.parallel_ms,
-            sep
-        ));
-    }
-    let json = format!(
-        "{{\n  \"bench\": \"bench_replications\",\n  \"master_seed\": {BASE_SEED},\n  \
-         \"duration_seconds\": {duration},\n  \"confidence_level\": 0.95,\n  \
-         \"aggregates_bit_identical\": true,\n  \"workers\": {workers},\n  \
-         \"parallelism\": {parallelism},\n  \
-         \"serial_total_ms\": {serial_total:.3},\n  \
-         \"parallel_total_ms\": {parallel_total:.3},\n  \
-         \"speedup\": {speedup:.3},\n  \"scenarios\": [\n{body}  ]\n}}\n"
-    );
-    std::fs::write(&out_path, json).expect("write replication snapshot");
-    println!("wrote {out_path}");
+    // Shared deterministic JSON writer: one field per line, so CI's
+    // second-run diff can filter the wall-clock fields (`_ms`, `speedup`,
+    // `parallelism`) with grep and compare the rest byte for byte.
+    let scenarios: Vec<JsonValue> = rows
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .field("mix", r.mix)
+                .field("ebs", r.ebs)
+                .field("contention", r.contention)
+                .field("replications", r.replications)
+                .field("throughput_mean", JsonValue::f(r.throughput_mean, 9))
+                .field(
+                    "throughput_half_width",
+                    JsonValue::f(r.throughput_half_width, 9),
+                )
+                .field("response_mean", JsonValue::f(r.response_mean, 9))
+                .field("util_db_mean", JsonValue::f(r.util_db_mean, 9))
+                .field("serial_ms", JsonValue::f(r.serial_ms, 3))
+                .field("parallel_ms", JsonValue::f(r.parallel_ms, 3))
+                .into()
+        })
+        .collect();
+    let report = JsonObject::new()
+        .field("bench", "bench_replications")
+        .field("master_seed", BASE_SEED)
+        .field("duration_seconds", JsonValue::f(duration, 1))
+        .field("confidence_level", JsonValue::f(0.95, 2))
+        .field("aggregates_bit_identical", true)
+        .field("workers", workers)
+        .field("parallelism", parallelism)
+        .field("serial_total_ms", JsonValue::f(serial_total, 3))
+        .field("parallel_total_ms", JsonValue::f(parallel_total, 3))
+        .field("speedup", JsonValue::f(speedup, 3))
+        .field("scenarios", scenarios);
+    burstcap_bench::json::write_report(&out_path, &report);
 }

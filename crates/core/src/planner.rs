@@ -202,7 +202,7 @@ impl CapacityPlanner {
         }
         let fits = tiers
             .iter()
-            .map(|c| fit_tier(c, options.i_tolerance))
+            .map(|c| fit_characterization(c, options.i_tolerance))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(CapacityPlanner {
             tiers,
@@ -253,6 +253,25 @@ impl CapacityPlanner {
         self.solver
     }
 
+    /// The what-if model at `population` customers and think time
+    /// `think_time`: the closed tandem MAP network built from this planner's
+    /// fitted tiers, **unsolved**. The escape hatch for callers that drive
+    /// the solve themselves — e.g. chaining warm-started sparse solves via
+    /// [`burstcap_qn::mapqn::MapNetwork::solve_sparse_with_initial`], or
+    /// inspecting the generator — which
+    /// [`CapacityPlanner::predict`]'s one-shot strategy cannot express.
+    ///
+    /// # Errors
+    /// Propagates network-construction failures (zero population,
+    /// non-positive think time).
+    pub fn network(&self, population: usize, think_time: f64) -> Result<MapNetwork, PlanError> {
+        Ok(MapNetwork::tandem(
+            population,
+            think_time,
+            self.fits.iter().map(|f| f.map()).collect(),
+        )?)
+    }
+
     /// Predict performance at `population` customers with think time
     /// `think_time` (the model's `Z_qn`). The CTMC engine is chosen by the
     /// configured [`SolverStrategy`]: with the default `Auto` strategy,
@@ -262,11 +281,7 @@ impl CapacityPlanner {
     /// # Errors
     /// Propagates model-solution failures.
     pub fn predict(&self, population: usize, think_time: f64) -> Result<Prediction, PlanError> {
-        let net = MapNetwork::tandem(
-            population,
-            think_time,
-            self.fits.iter().map(|f| f.map()).collect(),
-        )?;
+        let net = self.network(population, think_time)?;
         Ok((population, self.solver.solve(&net)?).into())
     }
 
@@ -286,12 +301,26 @@ impl CapacityPlanner {
     }
 }
 
-fn fit_tier(c: &ServiceCharacterization, i_tolerance: f64) -> Result<FittedMap2, PlanError> {
-    // The estimators can produce I at or below the 1/2 floor of two-phase
-    // processes on nearly deterministic tiers, where burstiness is
-    // irrelevant anyway: the fitter's opt-in floor raises such targets and
-    // *records* the adjustment on the fit (FittedMap2::floored_target_i)
-    // instead of clamping silently here.
+/// Fit one tier's MAP(2) from its three descriptors, with the planner's
+/// conventions: the p95 target is floored just above the mean (degenerate
+/// tails otherwise make the fit infeasible), and underdispersed targets go
+/// through the fitter's *recorded* `I` floor.
+///
+/// The estimators can produce `I` at or below the 1/2 floor of two-phase
+/// processes on nearly deterministic tiers, where burstiness is irrelevant
+/// anyway: the fitter's opt-in floor raises such targets and records the
+/// adjustment on the fit ([`FittedMap2::floored_target_i`]) instead of
+/// clamping silently here.
+///
+/// Public because the online planner re-fits tiers one at a time as their
+/// streaming descriptors drift, outside a full [`CapacityPlanner`] rebuild.
+///
+/// # Errors
+/// Propagates fitting failures.
+pub fn fit_characterization(
+    c: &ServiceCharacterization,
+    i_tolerance: f64,
+) -> Result<FittedMap2, PlanError> {
     let p95 = c.p95_service_time.max(c.mean_service_time * 1.05);
     Ok(
         Map2Fitter::new(c.mean_service_time, c.index_of_dispersion, p95)

@@ -1,13 +1,19 @@
-//! Accuracy reporting: model-versus-measured tables.
+//! Reporting artifacts: model-versus-measured tables and online-planning
+//! ticks.
 //!
 //! The paper validates its model by tabulating predicted against measured
 //! throughput across EB populations and mixes (Figures 10-12), quoting the
 //! relative error on each bar. [`AccuracyReport`] reproduces that artifact.
+//! [`OnlineReport`] is its continuous-planning sibling: one record per
+//! replanning tick of the streaming pipeline (current per-tier descriptors,
+//! detector state, and the refreshed prediction), emitted by
+//! `burstcap_online::OnlinePlanner`.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::characterize::ServiceCharacterization;
 use crate::planner::Prediction;
 use crate::PlanError;
 
@@ -135,6 +141,76 @@ impl AccuracyReport {
     }
 }
 
+/// Per-tier slice of an [`OnlineReport`]: the streaming descriptors at one
+/// replanning tick and what the planner did about them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineTierStatus {
+    /// Current streaming characterization of the tier.
+    pub characterization: ServiceCharacterization,
+    /// Largest relative change of the three descriptors against the tier's
+    /// last fitted characterization (0 for the first fit).
+    pub drift: f64,
+    /// Whether the tier's regime-change detector is in alarm at this tick.
+    pub alarm: bool,
+}
+
+/// One replanning tick of the online planner: emitted by
+/// `burstcap_online::OnlinePlanner` every time it re-evaluates the model
+/// against the stream.
+///
+/// Serialization-ready like every pipeline artifact (the `Serialize` /
+/// `Deserialize` derives); `burstcap-bench`'s deterministic JSON writer
+/// renders it in `BENCH_online.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// 1-based index of the monitoring window that triggered this tick.
+    pub window: usize,
+    /// Stream time at the tick (window index × resolution, seconds).
+    pub elapsed_seconds: f64,
+    /// Per-tier descriptors and detector state, in tandem order.
+    pub tiers: Vec<OnlineTierStatus>,
+    /// Whether any tier's regime-change detector fired at this tick.
+    pub regime_change: bool,
+    /// Whether this tick re-fitted the MAP(2)s and re-solved the model.
+    pub refitted: bool,
+    /// Whether the solve was warm-started from the previous stationary
+    /// vector (`false` for cold solves and for ticks that kept the cached
+    /// prediction).
+    pub warm_started: bool,
+    /// The current throughput prediction (re-solved at this tick if
+    /// `refitted`, otherwise the cached one).
+    pub prediction: Prediction,
+}
+
+impl fmt::Display for OnlineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={:>7.0}s window {:>5}: X = {:>6.1}/s",
+            self.elapsed_seconds, self.window, self.prediction.throughput
+        )?;
+        for (i, tier) in self.tiers.iter().enumerate() {
+            write!(
+                f,
+                "  tier{i} S={:.1}ms I={:.1}",
+                tier.characterization.mean_service_time * 1e3,
+                tier.characterization.index_of_dispersion
+            )?;
+        }
+        if self.regime_change {
+            write!(f, "  [regime change]")?;
+        }
+        if self.refitted {
+            write!(
+                f,
+                "  [refit, {} solve]",
+                if self.warm_started { "warm" } else { "cold" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for AccuracyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.label)?;
@@ -199,6 +275,43 @@ mod tests {
         assert!(text.contains("mix"));
         assert!(text.contains("25"));
         assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn online_report_display_flags_refits() {
+        let c = ServiceCharacterization {
+            mean_service_time: 0.01,
+            index_of_dispersion: 8.0,
+            p95_service_time: 0.03,
+            dispersion_converged: true,
+            regression_r_squared: 0.99,
+        };
+        let report = OnlineReport {
+            window: 240,
+            elapsed_seconds: 1200.0,
+            tiers: vec![OnlineTierStatus {
+                characterization: c,
+                drift: 0.3,
+                alarm: true,
+            }],
+            regime_change: true,
+            refitted: true,
+            warm_started: true,
+            prediction: pred(60, 88.5),
+        };
+        let text = report.to_string();
+        assert!(text.contains("regime change"));
+        assert!(text.contains("warm"));
+        assert!(text.contains("240"));
+        let quiet = OnlineReport {
+            regime_change: false,
+            refitted: false,
+            warm_started: false,
+            ..report
+        };
+        let text = quiet.to_string();
+        assert!(!text.contains("regime change"));
+        assert!(!text.contains("refit"));
     }
 
     #[test]

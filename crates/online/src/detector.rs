@@ -1,0 +1,262 @@
+//! CUSUM regime-change detection on per-window service statistics.
+//!
+//! The online planner must distinguish *estimator refinement* (descriptors
+//! wobbling as the streaming estimates converge) from a genuine *regime
+//! change* (the paper's contention episodes turning a tier's service process
+//! into a different one — e.g. a database slowdown inflating per-request
+//! demand). A two-sided CUSUM on the normalized per-window demand
+//! (`U_k * T / n_k`) does exactly that: small zero-mean noise cancels in the
+//! cumulative sums, a sustained mean shift accumulates linearly until the
+//! decision threshold trips.
+
+use serde::{Deserialize, Serialize};
+
+use crate::OnlineError;
+
+/// CUSUM tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CusumOptions {
+    /// Windows used to learn the in-control baseline mean before the test
+    /// arms itself (re-learned after every [`CusumDetector::reset`]).
+    pub warmup_windows: usize,
+    /// Slack `kappa` per observation, in baseline-relative units: deviations
+    /// below `kappa * baseline` are absorbed. Half the smallest shift worth
+    /// detecting is the classical choice.
+    pub slack: f64,
+    /// Decision threshold `h` on the cumulative statistic, in
+    /// baseline-relative units.
+    pub threshold: f64,
+}
+
+impl Default for CusumOptions {
+    fn default() -> Self {
+        CusumOptions {
+            warmup_windows: 40,
+            slack: 0.25,
+            threshold: 8.0,
+        }
+    }
+}
+
+impl CusumOptions {
+    /// Validate the tuning.
+    ///
+    /// # Errors
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), OnlineError> {
+        if self.warmup_windows < 2 {
+            return Err(OnlineError::InvalidConfig {
+                name: "warmup_windows",
+                reason: format!("need at least 2, got {}", self.warmup_windows),
+            });
+        }
+        if self.slack < 0.0 || !self.slack.is_finite() {
+            return Err(OnlineError::InvalidConfig {
+                name: "slack",
+                reason: format!("must be non-negative and finite, got {}", self.slack),
+            });
+        }
+        if self.threshold <= 0.0 || !self.threshold.is_finite() {
+            return Err(OnlineError::InvalidConfig {
+                name: "threshold",
+                reason: format!("must be positive and finite, got {}", self.threshold),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Two-sided CUSUM detector with a self-learned baseline.
+///
+/// Feed it one statistic per monitoring window; it returns `true` on the
+/// update that crosses the decision threshold. After a regime change is
+/// acted upon (the planner re-fits), call [`CusumDetector::reset`] so the
+/// baseline re-learns from the new regime.
+///
+/// # Example
+/// ```
+/// use burstcap_online::detector::{CusumDetector, CusumOptions};
+///
+/// let mut det = CusumDetector::new(CusumOptions {
+///     warmup_windows: 10,
+///     slack: 0.25,
+///     threshold: 4.0,
+/// })?;
+/// // Learn a baseline of 1.0, then inject a sustained 2x shift.
+/// let mut fired_at = None;
+/// for k in 0..100 {
+///     let x = if k < 50 { 1.0 } else { 2.0 };
+///     if det.update(x) && fired_at.is_none() {
+///         fired_at = Some(k);
+///     }
+/// }
+/// let fired = fired_at.expect("a 2x shift must trip the detector");
+/// assert!(fired >= 50 && fired < 65, "fired at {fired}");
+/// # Ok::<(), burstcap_online::OnlineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CusumDetector {
+    options: CusumOptions,
+    baseline_sum: f64,
+    baseline_count: usize,
+    baseline: Option<f64>,
+    g_pos: f64,
+    g_neg: f64,
+}
+
+impl CusumDetector {
+    /// Create a detector.
+    ///
+    /// # Errors
+    /// Propagates [`CusumOptions::validate`].
+    pub fn new(options: CusumOptions) -> Result<Self, OnlineError> {
+        options.validate()?;
+        Ok(CusumDetector {
+            options,
+            baseline_sum: 0.0,
+            baseline_count: 0,
+            baseline: None,
+            g_pos: 0.0,
+            g_neg: 0.0,
+        })
+    }
+
+    /// Ingest one per-window statistic; returns `true` if the cumulative
+    /// statistic crossed the threshold on this update. Non-finite
+    /// observations are ignored.
+    pub fn update(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        let Some(mu0) = self.baseline else {
+            self.baseline_sum += x;
+            self.baseline_count += 1;
+            if self.baseline_count >= self.options.warmup_windows {
+                self.baseline = Some(self.baseline_sum / self.baseline_count as f64);
+            }
+            return false;
+        };
+        // Baseline-relative deviation; an (almost) idle baseline degenerates
+        // to absolute deviations.
+        let scale = mu0.abs().max(1e-12);
+        let z = (x - mu0) / scale;
+        self.g_pos = (self.g_pos + z - self.options.slack).max(0.0);
+        self.g_neg = (self.g_neg - z - self.options.slack).max(0.0);
+        self.g_pos > self.options.threshold || self.g_neg > self.options.threshold
+    }
+
+    /// Whether the detector is still learning its baseline.
+    pub fn in_warmup(&self) -> bool {
+        self.baseline.is_none()
+    }
+
+    /// The learned in-control mean, once warmup completed.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Current value of the (larger) one-sided cumulative statistic.
+    pub fn statistic(&self) -> f64 {
+        self.g_pos.max(self.g_neg)
+    }
+
+    /// Forget the baseline and the cumulative sums: the next
+    /// `warmup_windows` observations re-learn the in-control mean. Call
+    /// after acting on an alarm.
+    pub fn reset(&mut self) {
+        self.baseline_sum = 0.0;
+        self.baseline_count = 0;
+        self.baseline = None;
+        self.g_pos = 0.0;
+        self.g_neg = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(warmup: usize, slack: f64, threshold: f64) -> CusumDetector {
+        CusumDetector::new(CusumOptions {
+            warmup_windows: warmup,
+            slack,
+            threshold,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn stays_quiet_on_zero_mean_noise() {
+        let mut det = detector(20, 0.3, 6.0);
+        // Deterministic bounded "noise" well inside the slack.
+        for k in 0..2000u64 {
+            let x = 1.0 + 0.2 * (((k * 37) % 17) as f64 / 17.0 - 0.5);
+            assert!(!det.update(x), "false alarm at window {k}");
+        }
+        assert!(!det.in_warmup());
+        assert!((det.baseline().unwrap() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn detects_downward_shifts_too() {
+        let mut det = detector(10, 0.25, 4.0);
+        let mut fired = None;
+        for k in 0..200 {
+            let x = if k < 60 { 1.0 } else { 0.4 };
+            if det.update(x) && fired.is_none() {
+                fired = Some(k);
+            }
+        }
+        let fired = fired.expect("a 60% drop must fire");
+        assert!((60..75).contains(&fired), "fired at {fired}");
+    }
+
+    #[test]
+    fn reset_relearns_the_new_regime() {
+        let mut det = detector(10, 0.25, 4.0);
+        let mut fired = false;
+        for k in 0..100 {
+            let x = if k < 50 { 1.0 } else { 3.0 };
+            fired |= det.update(x);
+        }
+        assert!(fired);
+        det.reset();
+        assert!(det.in_warmup());
+        assert!(det.statistic() == 0.0);
+        // The new regime becomes the baseline: no further alarms.
+        for _ in 0..500 {
+            assert!(!det.update(3.0));
+        }
+        assert!((det.baseline().unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_non_finite_observations() {
+        let mut det = detector(2, 0.25, 4.0);
+        det.update(1.0);
+        det.update(f64::NAN);
+        det.update(f64::INFINITY);
+        assert!(det.in_warmup());
+        det.update(1.0);
+        assert!(!det.in_warmup());
+    }
+
+    #[test]
+    fn options_are_validated() {
+        assert!(CusumDetector::new(CusumOptions {
+            warmup_windows: 1,
+            ..CusumOptions::default()
+        })
+        .is_err());
+        assert!(CusumDetector::new(CusumOptions {
+            slack: -0.1,
+            ..CusumOptions::default()
+        })
+        .is_err());
+        assert!(CusumDetector::new(CusumOptions {
+            threshold: 0.0,
+            ..CusumOptions::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,120 @@
+use std::error::Error;
+use std::fmt;
+
+use burstcap::PlanError;
+use burstcap_qn::QnError;
+use burstcap_stats::StatsError;
+use burstcap_tpcw::TpcwError;
+
+/// Errors produced by the streaming-ingestion and online-planning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OnlineError {
+    /// A monitoring window is malformed (wrong tier count, invalid sample).
+    InvalidWindow {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The planner or a source was misconfigured.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A plain-text feed could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A streaming estimator failed.
+    Estimation(StatsError),
+    /// MAP fitting or planner assembly failed.
+    Planning(PlanError),
+    /// The what-if model could not be solved.
+    Solving(QnError),
+    /// The testbed feed adapter failed.
+    Feed(TpcwError),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::InvalidWindow { reason } => write!(f, "invalid window: {reason}"),
+            OnlineError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            OnlineError::Parse { line, reason } => {
+                write!(f, "feed parse error at line {line}: {reason}")
+            }
+            OnlineError::Estimation(e) => write!(f, "streaming estimation failed: {e}"),
+            OnlineError::Planning(e) => write!(f, "planning failed: {e}"),
+            OnlineError::Solving(e) => write!(f, "model solution failed: {e}"),
+            OnlineError::Feed(e) => write!(f, "testbed feed failed: {e}"),
+        }
+    }
+}
+
+impl Error for OnlineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OnlineError::InvalidWindow { .. }
+            | OnlineError::InvalidConfig { .. }
+            | OnlineError::Parse { .. } => None,
+            OnlineError::Estimation(e) => Some(e),
+            OnlineError::Planning(e) => Some(e),
+            OnlineError::Solving(e) => Some(e),
+            OnlineError::Feed(e) => Some(e),
+        }
+    }
+}
+
+impl From<StatsError> for OnlineError {
+    fn from(e: StatsError) -> Self {
+        OnlineError::Estimation(e)
+    }
+}
+
+impl From<PlanError> for OnlineError {
+    fn from(e: PlanError) -> Self {
+        OnlineError::Planning(e)
+    }
+}
+
+impl From<QnError> for OnlineError {
+    fn from(e: QnError) -> Self {
+        OnlineError::Solving(e)
+    }
+}
+
+impl From<TpcwError> for OnlineError {
+    fn from(e: TpcwError) -> Self {
+        OnlineError::Feed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OnlineError::Parse {
+            line: 7,
+            reason: "odd token count".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains('7'));
+        assert!(text.contains("odd token count"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_sources_chain() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OnlineError>();
+        let e = OnlineError::from(StatsError::TraceTooShort { got: 1, needed: 2 });
+        assert!(e.source().is_some());
+    }
+}

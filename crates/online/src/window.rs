@@ -1,0 +1,250 @@
+//! Monitoring windows and the sources that produce them.
+//!
+//! A [`MonitorWindow`] is one monitoring interval's worth of the coarse data
+//! the paper's methodology consumes — per-tier utilization and completion
+//! count — and a [`WindowSource`] hands them out one at a time, which is the
+//! only ingestion shape the online planner accepts: no look-ahead, no
+//! rescans.
+//!
+//! Two sources ship here and one in [`crate::sar`]:
+//!
+//! * [`ReplaySource`] — replays recorded monitoring series window by window;
+//!   its [`ReplaySource::from_run`] constructor adapts a TPC-W testbed run
+//!   (via [`burstcap_tpcw::monitor::TestbedRun::tandem_monitoring`]), and
+//!   [`ReplaySource::append_run`] splices further runs onto the feed — the
+//!   standard way to inject a regime shift in experiments;
+//! * [`crate::sar::SarTextSource`] — parses a plain-text `sar`-style log.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use burstcap_tpcw::monitor::{MonitoringSeries, TestbedRun};
+
+use crate::OnlineError;
+
+/// One tier's slice of a monitoring window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierSample {
+    /// Fraction of the window the tier's server was busy, in `[0, 1]`.
+    pub utilization: f64,
+    /// Requests the tier completed during the window.
+    pub completions: u64,
+}
+
+/// One monitoring interval across all tiers, in tandem order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorWindow {
+    /// Per-tier samples, in tandem (request-flow) order.
+    pub tiers: Vec<TierSample>,
+}
+
+/// A producer of monitoring windows, one at a time.
+///
+/// `Ok(None)` means the feed is (currently) exhausted; a live
+/// implementation may later produce more windows, so exhaustion is not
+/// necessarily final.
+pub trait WindowSource {
+    /// Window length in seconds, constant over the feed.
+    fn resolution(&self) -> f64;
+
+    /// Number of tiers per window, constant over the feed.
+    fn tier_count(&self) -> usize;
+
+    /// Produce the next window, or `None` if the feed has nothing buffered.
+    ///
+    /// # Errors
+    /// Implementation-specific (parse failures, adapter errors).
+    fn next_window(&mut self) -> Result<Option<MonitorWindow>, OnlineError>;
+}
+
+/// Replays recorded monitoring series as a window feed.
+///
+/// # Example
+/// ```
+/// use burstcap_online::window::{ReplaySource, WindowSource};
+/// use burstcap_tpcw::monitor::MonitoringSeries;
+///
+/// let tier = MonitoringSeries {
+///     resolution: 5.0,
+///     utilization: vec![0.4, 0.5],
+///     completions: vec![20, 25],
+/// };
+/// let mut feed = ReplaySource::from_tier_series(&[tier])?;
+/// assert_eq!(feed.tier_count(), 1);
+/// assert_eq!(feed.remaining(), 2);
+/// let w = feed.next_window()?.expect("two windows buffered");
+/// assert_eq!(w.tiers[0].completions, 20);
+/// # Ok::<(), burstcap_online::OnlineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySource {
+    resolution: f64,
+    tier_count: usize,
+    windows: VecDeque<MonitorWindow>,
+}
+
+impl ReplaySource {
+    /// Build a feed from one recorded series per tier (tandem order). The
+    /// series are zipped window by window; if they differ in length the
+    /// feed stops at the shortest.
+    ///
+    /// # Errors
+    /// Rejects an empty tier list and mismatched resolutions.
+    pub fn from_tier_series(series: &[MonitoringSeries]) -> Result<Self, OnlineError> {
+        let first = series.first().ok_or(OnlineError::InvalidConfig {
+            name: "series",
+            reason: "need at least one tier".into(),
+        })?;
+        if first.resolution <= 0.0 || !first.resolution.is_finite() {
+            return Err(OnlineError::InvalidConfig {
+                name: "series",
+                reason: format!("resolution must be positive, got {}", first.resolution),
+            });
+        }
+        let mut feed = ReplaySource {
+            resolution: first.resolution,
+            tier_count: series.len(),
+            windows: VecDeque::new(),
+        };
+        feed.append_tier_series(series)?;
+        Ok(feed)
+    }
+
+    /// Build a feed from a TPC-W testbed run: the tiers come out in tandem
+    /// order via [`TestbedRun::tandem_monitoring`].
+    ///
+    /// # Errors
+    /// Propagates monitoring-extraction failures.
+    pub fn from_run(run: &TestbedRun) -> Result<Self, OnlineError> {
+        Self::from_tier_series(&run.tandem_monitoring()?)
+    }
+
+    /// Append more recorded series to the feed (e.g. the post-shift phase
+    /// of a drifting workload).
+    ///
+    /// # Errors
+    /// Rejects a tier count or resolution different from the feed's.
+    pub fn append_tier_series(&mut self, series: &[MonitoringSeries]) -> Result<(), OnlineError> {
+        if series.len() != self.tier_count {
+            return Err(OnlineError::InvalidConfig {
+                name: "series",
+                reason: format!(
+                    "feed has {} tiers, appended series has {}",
+                    self.tier_count,
+                    series.len()
+                ),
+            });
+        }
+        for s in series {
+            if (s.resolution - self.resolution).abs() > 1e-9 {
+                return Err(OnlineError::InvalidConfig {
+                    name: "series",
+                    reason: format!(
+                        "resolution mismatch: feed {} vs appended {}",
+                        self.resolution, s.resolution
+                    ),
+                });
+            }
+        }
+        let windows = series
+            .iter()
+            .map(|s| s.utilization.len().min(s.completions.len()))
+            .min()
+            .unwrap_or(0);
+        for k in 0..windows {
+            let tiers = series
+                .iter()
+                .map(|s| TierSample {
+                    utilization: s.utilization[k],
+                    completions: s.completions[k],
+                })
+                .collect();
+            self.windows.push_back(MonitorWindow { tiers });
+        }
+        Ok(())
+    }
+
+    /// Append the monitoring output of another testbed run.
+    ///
+    /// # Errors
+    /// Propagates monitoring-extraction failures and shape mismatches.
+    pub fn append_run(&mut self, run: &TestbedRun) -> Result<(), OnlineError> {
+        self.append_tier_series(&run.tandem_monitoring()?)
+    }
+
+    /// Number of windows still buffered.
+    pub fn remaining(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+impl WindowSource for ReplaySource {
+    fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    fn tier_count(&self) -> usize {
+        self.tier_count
+    }
+
+    fn next_window(&mut self) -> Result<Option<MonitorWindow>, OnlineError> {
+        Ok(self.windows.pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(resolution: f64, util: Vec<f64>, completions: Vec<u64>) -> MonitoringSeries {
+        MonitoringSeries {
+            resolution,
+            utilization: util,
+            completions,
+        }
+    }
+
+    #[test]
+    fn replay_zips_tiers_in_order() {
+        let front = series(5.0, vec![0.5, 0.6, 0.7], vec![10, 11, 12]);
+        let db = series(5.0, vec![0.2, 0.3, 0.4], vec![20, 21, 22]);
+        let mut feed = ReplaySource::from_tier_series(&[front, db]).unwrap();
+        assert_eq!(feed.tier_count(), 2);
+        assert!((feed.resolution() - 5.0).abs() < 1e-12);
+        let w0 = feed.next_window().unwrap().unwrap();
+        assert_eq!(w0.tiers.len(), 2);
+        assert!((w0.tiers[0].utilization - 0.5).abs() < 1e-12);
+        assert_eq!(w0.tiers[1].completions, 20);
+        assert_eq!(feed.remaining(), 2);
+    }
+
+    #[test]
+    fn replay_truncates_to_shortest_series() {
+        let a = series(1.0, vec![0.5; 5], vec![1; 5]);
+        let b = series(1.0, vec![0.5; 3], vec![1; 3]);
+        let feed = ReplaySource::from_tier_series(&[a, b]).unwrap();
+        assert_eq!(feed.remaining(), 3);
+    }
+
+    #[test]
+    fn replay_validates_shape() {
+        assert!(ReplaySource::from_tier_series(&[]).is_err());
+        let a = series(1.0, vec![0.5], vec![1]);
+        let b = series(2.0, vec![0.5], vec![1]);
+        assert!(ReplaySource::from_tier_series(&[a.clone(), b.clone()]).is_err());
+        let mut feed = ReplaySource::from_tier_series(std::slice::from_ref(&a)).unwrap();
+        assert!(feed.append_tier_series(&[a.clone(), a.clone()]).is_err());
+        assert!(feed.append_tier_series(&[b]).is_err());
+        feed.append_tier_series(&[a]).unwrap();
+        assert_eq!(feed.remaining(), 2);
+    }
+
+    #[test]
+    fn exhausted_feed_yields_none() {
+        let a = series(1.0, vec![0.5], vec![1]);
+        let mut feed = ReplaySource::from_tier_series(&[a]).unwrap();
+        assert!(feed.next_window().unwrap().is_some());
+        assert!(feed.next_window().unwrap().is_none());
+    }
+}

@@ -729,13 +729,65 @@ impl MapNetwork {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn solve_sparse(&self) -> Result<MapQnSolution, QnError> {
+        // A cold solve is exactly the warm-startable path without a guess;
+        // one place owns the production tuning.
+        Ok(self.solve_sparse_with_initial(None)?.0)
+    }
+
+    /// Warm-startable sparse solve: the production Gauss-Seidel engine of
+    /// [`MapNetwork::solve_sparse`], seeded from a caller-provided
+    /// stationary-vector guess, returning both the metrics **and** the
+    /// stationary vector so consecutive solves can chain.
+    ///
+    /// This is the online-planning entry point: a rolling re-fit changes
+    /// the MAP rates slightly while the state space — which depends only on
+    /// the population and station count — stays fixed, so the previous
+    /// window's stationary vector is an excellent initial iterate (the
+    /// underlying seam is [`crate::ctmc::Ctmc::steady_state_from`], which
+    /// normalizes and floors the guess). With `None` (or after a re-sized
+    /// model) the solve starts cold from the uniform distribution, exactly
+    /// like [`MapNetwork::solve_sparse`].
+    ///
+    /// # Errors
+    /// Rejects a guess whose length differs from
+    /// [`MapNetwork::state_count`]; otherwise as
+    /// [`MapNetwork::solve_sparse`] (including
+    /// [`QnError::NoConvergence`] on nearly decomposable chains — callers
+    /// wanting the stiffness-proof fallback should retry with
+    /// [`MapNetwork::solve`]).
+    ///
+    /// # Example
+    /// ```
+    /// use burstcap_map::Map2;
+    /// use burstcap_qn::mapqn::MapNetwork;
+    ///
+    /// let net = MapNetwork::new(20, 0.5, Map2::poisson(100.0)?, Map2::poisson(50.0)?)?;
+    /// let (cold, pi) = net.solve_sparse_with_initial(None)?;
+    /// // Re-solve a slightly perturbed model warm-started from pi.
+    /// let drifted = MapNetwork::new(20, 0.5, Map2::poisson(98.0)?, Map2::poisson(51.0)?)?;
+    /// let (warm, _) = drifted.solve_sparse_with_initial(Some(pi))?;
+    /// assert!((warm.throughput - cold.throughput).abs() / cold.throughput < 0.05);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn solve_sparse_with_initial(
+        &self,
+        guess: Option<Vec<f64>>,
+    ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
+        self.check_state_limit()?;
+        let chain = Ctmc::from_outgoing_csr(self.outgoing_csr()?)?;
         // omega < 1: plain Gauss-Seidel limit-cycles on these QBD chains
         // (see the SparseMethod::GaussSeidel docs).
-        self.solve_iterative(SteadyStateMethod::Sparse(SparseMethod::GaussSeidel {
+        let method = SteadyStateMethod::Sparse(SparseMethod::GaussSeidel {
             omega: 0.95,
             tol: 1e-12,
             max_iter: 400_000,
-        }))
+        });
+        let pi = match guess {
+            Some(g) => chain.steady_state_from(method, g)?,
+            None => chain.steady_state(method)?,
+        };
+        let solution = self.metrics_from_flat(&pi);
+        Ok((solution, pi))
     }
 
     /// Solve with automatic engine selection: the direct level-reduction
@@ -1201,6 +1253,33 @@ mod tests {
     use super::*;
     use crate::mva::ClosedMva;
     use burstcap_map::fit::Map2Fitter;
+
+    #[test]
+    fn warm_started_sparse_solve_matches_direct() {
+        // Moderately bursty fits (the sparse engine's converging regime).
+        let front = Map2Fitter::new(0.01, 8.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.008, 12.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::new(15, 0.3, front, db).unwrap();
+        let direct = net.solve().unwrap();
+        let (cold, pi) = net.solve_sparse_with_initial(None).unwrap();
+        assert_eq!(pi.len(), net.state_count());
+        assert!((cold.throughput - direct.throughput).abs() / direct.throughput < 1e-8);
+        // Warm start from the exact answer on a drifted model: still the
+        // right stationary solution.
+        let drifted_db = Map2Fitter::new(0.0082, 11.0, 0.021).fit().unwrap().map();
+        let drifted = MapNetwork::new(15, 0.3, front, drifted_db).unwrap();
+        let (warm, pi2) = drifted.solve_sparse_with_initial(Some(pi)).unwrap();
+        let drifted_direct = drifted.solve().unwrap();
+        assert!(
+            (warm.throughput - drifted_direct.throughput).abs() / drifted_direct.throughput < 1e-8,
+            "warm {} vs direct {}",
+            warm.throughput,
+            drifted_direct.throughput
+        );
+        assert!((pi2.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // A wrong-length guess is rejected, not silently discarded.
+        assert!(drifted.solve_sparse_with_initial(Some(vec![1.0])).is_err());
+    }
 
     #[test]
     fn exponential_network_matches_mva() {

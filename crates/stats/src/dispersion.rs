@@ -85,6 +85,17 @@ pub struct DispersionEstimate {
 }
 
 impl DispersionEstimate {
+    /// Assemble an estimate from its parts — the construction seam shared
+    /// with the streaming estimator in [`crate::streaming`], which produces
+    /// the same artifact from append-only updates.
+    pub(crate) fn from_parts(index: f64, converged: bool, curve: Vec<CurvePoint>) -> Self {
+        DispersionEstimate {
+            index,
+            converged,
+            curve,
+        }
+    }
+
     /// The estimated index of dispersion `I` (the last computed `Y(t)`).
     pub fn index_of_dispersion(&self) -> f64 {
         self.index

@@ -20,6 +20,12 @@
 //! ([`bottleneck`]) and classical time-series tooling ([`acf`], [`hurst`],
 //! [`descriptive`]) used throughout the workspace.
 //!
+//! All three descriptor estimators exist in a second, **streaming** form
+//! ([`streaming`]): one-pass counterparts that ingest monitoring windows as
+//! they arrive (running normal-equation sums, append-only Figure 2
+//! aggregation levels, P² quantile sketches) — the substrate of the
+//! continuous planner in `burstcap-online`.
+//!
 //! # Example
 //!
 //! Estimating the index of dispersion from utilization and completion-count
@@ -51,5 +57,6 @@ pub mod dispersion;
 mod error;
 pub mod hurst;
 pub mod regression;
+pub mod streaming;
 
 pub use error::StatsError;

@@ -1,0 +1,191 @@
+//! Streaming-vs-batch equivalence properties.
+//!
+//! The continuous planner in `burstcap-online` trusts the streaming
+//! estimators to reproduce their batch counterparts on identical window
+//! sequences. These properties pin the contract:
+//!
+//! * the incremental utilization-law regressor's normal-equation **sums are
+//!   bit-identical** to the batch pass (so the demand slope is too);
+//! * the streaming Figure 2 levels emit **exactly** the aggregated counts of
+//!   `aggregate_counts` (windows, sums, and sums of squares as exact
+//!   integers), and the resulting `Y(t)` curve and stopping behaviour match
+//!   the batch estimator to integer-vs-two-pass rounding;
+//! * the P² sketches carry bounded error against the exact order statistics
+//!   (looser: a five-marker sketch is an approximation by design).
+
+use proptest::prelude::*;
+
+use burstcap_stats::descriptive::percentile_of_sorted;
+use burstcap_stats::dispersion::{aggregate_counts, DispersionEstimator};
+use burstcap_stats::regression::estimate_demand;
+use burstcap_stats::streaming::{
+    P2Quantile, StreamingDemand, StreamingDispersion, StreamingServicePercentile,
+};
+
+/// A random monitoring stream: paired (utilization, completions) windows
+/// with enough busy mass that every estimator has material to work on.
+fn window_stream() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    prop::collection::vec((0.05f64..1.0, 0u64..120), 150..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental regressor reproduces the batch normal-equation sums
+    /// bit-for-bit, hence the identical slope.
+    #[test]
+    fn streaming_demand_sums_are_exact(windows in window_stream(), resolution in 0.5f64..60.0) {
+        let mut stream = StreamingDemand::new(resolution);
+        let mut util = Vec::with_capacity(windows.len());
+        let mut counts = Vec::with_capacity(windows.len());
+        for &(u, n) in &windows {
+            stream.push(u, n).unwrap();
+            util.push(u);
+            counts.push(n);
+        }
+        prop_assume!(counts.iter().any(|&n| n > 0));
+
+        // Reproduce the batch pass's sums: sxx over counts, sxy against busy
+        // times, in window order.
+        let x: Vec<f64> = counts.iter().map(|&n| n as f64).collect();
+        let busy: Vec<f64> = util.iter().map(|u| u * resolution).collect();
+        let sxx: f64 = x.iter().map(|v| v * v).sum();
+        let sxy: f64 = x.iter().zip(&busy).map(|(a, b)| a * b).sum();
+        let (stream_sxx, stream_sxy) = stream.normal_sums();
+        prop_assert_eq!(stream_sxx.to_bits(), sxx.to_bits());
+        prop_assert_eq!(stream_sxy.to_bits(), sxy.to_bits());
+
+        let batch = estimate_demand(&util, &counts, resolution).unwrap();
+        let online = stream.estimate().unwrap();
+        prop_assert_eq!(
+            online.mean_service_time.to_bits(),
+            batch.mean_service_time.to_bits()
+        );
+        // R^2 is computed one-pass vs two-pass: same quantity up to rounding.
+        prop_assert!((online.r_squared - batch.r_squared).abs() < 1e-6);
+    }
+
+    /// Every streaming aggregation level holds exactly the multiset of
+    /// aggregated counts the batch sliding-window pass emits.
+    #[test]
+    fn streaming_dispersion_levels_are_exact(windows in window_stream()) {
+        let resolution = 2.0;
+        let mut stream = StreamingDispersion::new(resolution).max_levels(24);
+        let mut util = Vec::with_capacity(windows.len());
+        let mut counts = Vec::with_capacity(windows.len());
+        for &(u, n) in &windows {
+            stream.push(u, n).unwrap();
+            util.push(u);
+            counts.push(n);
+        }
+        let busy: Vec<f64> = util.iter().map(|u| u * resolution).collect();
+        for level in 1..=24usize {
+            let t = level as f64 * resolution;
+            let batch = aggregate_counts(&busy, &counts, t);
+            let stats = stream.level_stats(level).unwrap();
+            prop_assert!(
+                stats.windows as usize == batch.len(),
+                "window count diverged at level {}", level
+            );
+            let sum: u64 = batch.iter().map(|&c| c as u64).sum();
+            let sum_sq: u128 = batch.iter().map(|&c| {
+                let c = c as u128;
+                c * c
+            }).sum();
+            prop_assert!(stats.sum == sum, "count sum diverged at level {}", level);
+            prop_assert!(stats.sum_sq == sum_sq, "count sum of squares diverged at level {}", level);
+        }
+    }
+
+    /// The full streaming estimate — curve, convergence flag, and final I —
+    /// matches the batch Figure 2 estimator on the same stream.
+    #[test]
+    fn streaming_dispersion_estimate_matches_batch(windows in window_stream()) {
+        let resolution = 5.0;
+        let mut stream = StreamingDispersion::new(resolution).tolerance(0.1);
+        let mut util = Vec::with_capacity(windows.len());
+        let mut counts = Vec::with_capacity(windows.len());
+        for &(u, n) in &windows {
+            stream.push(u, n).unwrap();
+            util.push(u);
+            counts.push(n);
+        }
+        prop_assume!(counts.iter().any(|&n| n > 0));
+        let batch = DispersionEstimator::new(resolution)
+            .tolerance(0.1)
+            .estimate(&util, &counts);
+        let online = stream.estimate();
+        match (batch, online) {
+            (Ok(b), Ok(o)) => {
+                prop_assert_eq!(o.converged(), b.converged());
+                prop_assert_eq!(o.curve().len(), b.curve().len());
+                for (po, pb) in o.curve().iter().zip(b.curve()) {
+                    prop_assert_eq!(po.windows, pb.windows);
+                    prop_assert!((po.t - pb.t).abs() < 1e-12);
+                    let tol = 1e-9 * (1.0 + pb.y.abs());
+                    prop_assert!((po.y - pb.y).abs() < tol, "Y {} vs {}", po.y, pb.y);
+                }
+                let tol = 1e-9 * (1.0 + b.index_of_dispersion().abs());
+                prop_assert!((o.index_of_dispersion() - b.index_of_dispersion()).abs() < tol);
+            }
+            (Err(_), Err(_)) => {}
+            (b, o) => prop_assert!(false, "batch {:?} vs streaming {:?} disagree on failure", b, o),
+        }
+    }
+
+    /// The P² sketch lands within a bounded band of the exact quantile on
+    /// long streams.
+    #[test]
+    fn p2_sketch_error_is_bounded(
+        seeds in prop::collection::vec(0.0f64..1.0, 3000..8000),
+        p in 0.5f64..0.97,
+    ) {
+        // Smooth heavy-ish tail: inverse-CDF of an exponential keeps the
+        // order statistics well separated.
+        let data: Vec<f64> = seeds.iter().map(|&u| -(1.0 - u * 0.9999).ln()).collect();
+        let mut sketch = P2Quantile::new(p);
+        data.iter().for_each(|&x| sketch.push(x));
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = percentile_of_sorted(&sorted, p);
+        let est = sketch.quantile().unwrap();
+        // Five markers on thousands of smooth samples: ~percent-level error;
+        // additionally the estimate must sit inside a neighbouring-quantile
+        // band of the exact distribution.
+        prop_assert!((est - exact).abs() / exact < 0.10, "sketch {} vs exact {}", est, exact);
+        let lo = percentile_of_sorted(&sorted, (p - 0.05).max(0.0));
+        let hi = percentile_of_sorted(&sorted, (p + 0.03).min(1.0));
+        prop_assert!(est >= lo && est <= hi, "sketch {} outside [{}, {}]", est, lo, hi);
+    }
+
+    /// The streaming tail estimator tracks the batch Section 4.1 estimator:
+    /// exact mean, sketch-bounded p95.
+    #[test]
+    fn streaming_tail_tracks_batch(windows in window_stream()) {
+        let resolution = 3.0;
+        let mut stream = StreamingServicePercentile::new(resolution);
+        let mut util = Vec::with_capacity(windows.len());
+        let mut counts = Vec::with_capacity(windows.len());
+        for &(u, n) in &windows {
+            stream.push(u, n).unwrap();
+            util.push(u);
+            counts.push(n);
+        }
+        prop_assume!(windows.iter().filter(|&&(_, n)| n > 0).count() >= 200);
+        let batch = burstcap_stats::busy::ServicePercentileEstimator::new(resolution)
+            .estimate(&util, &counts)
+            .unwrap();
+        let online = stream.estimate().unwrap();
+        // The running totals add the same busy times in the same order.
+        prop_assert_eq!(
+            online.mean_service_time.to_bits(),
+            batch.mean_service_time.to_bits()
+        );
+        prop_assert_eq!(online.busy_windows, batch.busy_windows);
+        // Both quantile sketches are approximations; allow their combined
+        // error. Uniform busy times and counts make this a mild target.
+        let rel = (online.p95_service_time - batch.p95_service_time).abs()
+            / batch.p95_service_time;
+        prop_assert!(rel < 0.25, "p95 {} vs {}", online.p95_service_time, batch.p95_service_time);
+    }
+}

@@ -132,6 +132,30 @@ impl TestbedRun {
         })
     }
 
+    /// The tiers this run monitored, in tandem (request-flow) order:
+    /// `[Web,] Front, Db` — `Web` only for three-tier runs.
+    pub fn tandem_tiers(&self) -> Vec<TierId> {
+        if self.web_util.is_empty() {
+            vec![TierId::Front, TierId::Db]
+        } else {
+            vec![TierId::Web, TierId::Front, TierId::Db]
+        }
+    }
+
+    /// All monitoring series of the run in tandem order — the live-feed
+    /// adapter surface: `burstcap-online` replays these window by window
+    /// into its streaming estimators.
+    ///
+    /// # Errors
+    /// Propagates [`TestbedRun::monitoring`] failures (incompatible
+    /// resolutions, run too short for one coarse window).
+    pub fn tandem_monitoring(&self) -> Result<Vec<MonitoringSeries>, TpcwError> {
+        self.tandem_tiers()
+            .into_iter()
+            .map(|tier| self.monitoring(tier))
+            .collect()
+    }
+
     /// Mean utilization of a tier over the measured interval.
     pub fn mean_utilization(&self, tier: TierId) -> f64 {
         let series = match tier {
@@ -214,6 +238,27 @@ mod tests {
         let run = dummy_run();
         assert!(run.monitoring(TierId::Web).is_err());
         assert_eq!(run.mean_utilization(TierId::Web), 0.0);
+    }
+
+    #[test]
+    fn tandem_monitoring_orders_tiers_by_request_flow() {
+        let run = dummy_run();
+        assert_eq!(run.tandem_tiers(), vec![TierId::Front, TierId::Db]);
+        let series = run.tandem_monitoring().unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].completions, vec![10, 20]);
+        assert_eq!(series[1].completions, vec![12, 18]);
+
+        let mut three = dummy_run();
+        three.web_util = vec![0.3; 10];
+        three.web_completions = vec![7, 9];
+        assert_eq!(
+            three.tandem_tiers(),
+            vec![TierId::Web, TierId::Front, TierId::Db]
+        );
+        let series = three.tandem_monitoring().unwrap();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].completions, vec![7, 9]);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Continuous capacity planning over a drifting live feed.
+//!
+//! Run with `cargo run --release --example online_planning`.
+//!
+//! The scenario the batch pipeline cannot express: a planner watches a
+//! TPC-W deployment's monitoring feed window by window. For the first phase
+//! the database is healthy; then a heavy contention regime is injected (the
+//! paper's burstiness cause — shared-table episodes with a large slowdown).
+//! The online planner must
+//!
+//! 1. fit once from the stable stream and then stay quiet (descriptors
+//!    refined but within the drift threshold — no wasted solves),
+//! 2. fire its CUSUM regime-change detector right after the shift,
+//! 3. drop the now-stale database history, re-learn, and re-fit — with the
+//!    CTMC solve warm-started from the previous stationary vector.
+//!
+//! The example asserts all three, so CI catches regressions in the
+//! detect-and-replan loop.
+
+use burstcap_online::detector::CusumOptions;
+use burstcap_online::planner::{OnlinePlanner, OnlinePlannerOptions};
+use burstcap_online::window::{ReplaySource, WindowSource};
+use burstcap_tpcw::contention::ContentionConfig;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Record the two phases of the drifting workload ---------------
+    let ebs = 60;
+    let stable = Testbed::new(
+        TestbedConfig::new(Mix::Browsing, ebs)
+            .duration(2400.0)
+            .seed(7)
+            .contention(ContentionConfig::disabled()),
+    )?
+    .run()?;
+    let contended = Testbed::new(
+        TestbedConfig::new(Mix::Browsing, ebs)
+            .duration(2400.0)
+            .seed(8)
+            .contention(ContentionConfig {
+                trigger_probability: 0.2,
+                slowdown: 9.0,
+                ..ContentionConfig::default()
+            }),
+    )?
+    .run()?;
+
+    let mut feed = ReplaySource::from_run(&stable)?;
+    let shift_window = feed.remaining();
+    feed.append_run(&contended)?;
+    println!(
+        "feed: {} windows of {}s ({} stable, contention shift injected at window {})",
+        feed.remaining(),
+        feed.resolution(),
+        shift_window,
+        shift_window + 1
+    );
+
+    // --- 2. Stream it through the online planner -------------------------
+    let mut options = OnlinePlannerOptions::new(ebs, 0.5);
+    options.min_windows = 300; // mature descriptors before the first fit
+    options.replan_every = 30;
+    options.drift_threshold = 0.25;
+    options.i_drift_threshold = 5.0; // low-I wander is noise at this load
+    options.detector = CusumOptions {
+        warmup_windows: 40,
+        slack: 0.25,
+        threshold: 8.0,
+    };
+    let mut planner = OnlinePlanner::new(feed.resolution(), 2, options)?;
+    let reports = planner.drain(&mut feed)?;
+
+    println!("\ntimeline ({} replanning ticks):", reports.len());
+    for r in &reports {
+        println!("  {r}");
+    }
+
+    // --- 3. The contract the loop must honour ----------------------------
+    let first_alarm = reports
+        .iter()
+        .find(|r| r.regime_change)
+        .map(|r| r.window)
+        .expect("the injected contention shift must fire the detector");
+    let stable_refits = reports
+        .iter()
+        .filter(|r| r.window <= shift_window && r.refitted)
+        .count();
+    let post_shift_refits: Vec<usize> = reports
+        .iter()
+        .filter(|r| r.window > shift_window && r.refitted)
+        .map(|r| r.window)
+        .collect();
+    assert!(
+        reports
+            .iter()
+            .all(|r| r.window > shift_window || !r.regime_change),
+        "no regime-change alarm may fire during the stable phase"
+    );
+    assert!(
+        first_alarm > shift_window && first_alarm <= shift_window + 20,
+        "detector fired at window {first_alarm}, shift was at {shift_window}"
+    );
+    assert_eq!(
+        stable_refits, 1,
+        "stable phase: exactly the initial fit, no drift churn"
+    );
+    assert!(
+        !post_shift_refits.is_empty(),
+        "the planner must re-fit after the shift"
+    );
+    let stats = planner.stats();
+    assert!(
+        stats.warm_solves >= 1,
+        "post-shift re-solves must warm-start from the previous pi"
+    );
+
+    let pre_shift = reports
+        .iter()
+        .rfind(|r| r.window <= shift_window)
+        .expect("stable-phase reports exist");
+    let final_report = reports.last().expect("reports exist");
+    let (pre_db, post_db) = (
+        &pre_shift.tiers[1].characterization,
+        &final_report.tiers[1].characterization,
+    );
+    assert!(
+        post_db.index_of_dispersion > 5.0 * pre_db.index_of_dispersion.max(1.0),
+        "heavy contention must inflate the db index of dispersion ({} -> {})",
+        pre_db.index_of_dispersion,
+        post_db.index_of_dispersion
+    );
+
+    println!(
+        "\ndetector fired at window {first_alarm} (shift at {shift_window}); \
+         re-fits: 1 stable + {} post-shift (first at window {})",
+        post_shift_refits.len(),
+        post_shift_refits[0]
+    );
+    println!(
+        "db service process: mean {:.1} ms / I = {:.1}  ->  mean {:.1} ms / I = {:.1}",
+        pre_db.mean_service_time * 1e3,
+        pre_db.index_of_dispersion,
+        post_db.mean_service_time * 1e3,
+        post_db.index_of_dispersion
+    );
+    println!(
+        "prediction at {ebs} EBs: {:.1} -> {:.1} tx/s; solves: {} warm / {} cold over {} refits",
+        pre_shift.prediction.throughput,
+        final_report.prediction.throughput,
+        stats.warm_solves,
+        stats.cold_solves,
+        stats.refits
+    );
+    println!("\nonline planning contract holds end to end");
+    Ok(())
+}

@@ -11,12 +11,15 @@
 //!   fitting pipeline;
 //! * [`burstcap_sim`] — the discrete-event simulation engine;
 //! * [`burstcap_tpcw`] — the TPC-W testbed simulator;
-//! * [`burstcap_qn`] — MVA and exact MAP-queueing-network solvers.
+//! * [`burstcap_qn`] — MVA and exact MAP-queueing-network solvers;
+//! * [`burstcap_online`] — streaming ingestion and the continuous
+//!   (rolling re-fit/re-solve) planner.
 
 #![forbid(unsafe_code)]
 
 pub use burstcap;
 pub use burstcap_map;
+pub use burstcap_online;
 pub use burstcap_qn;
 pub use burstcap_sim;
 pub use burstcap_stats;

@@ -1,0 +1,192 @@
+//! End-to-end gates for the streaming/online subsystem: testbed feed →
+//! window replay → streaming characterization → CUSUM detection → rolling
+//! re-fit/re-solve, cross-checked against the batch pipeline on the same
+//! data.
+
+use burstcap::characterize::{characterize, CharacterizeOptions};
+use burstcap::measurements::TierMeasurements;
+use burstcap::planner::{CapacityPlanner, PlannerOptions};
+use burstcap_online::detector::CusumOptions;
+use burstcap_online::planner::{OnlinePlanner, OnlinePlannerOptions};
+use burstcap_online::sar::SarTextSource;
+use burstcap_online::window::{ReplaySource, WindowSource};
+use burstcap_tpcw::contention::ContentionConfig;
+use burstcap_tpcw::mix::Mix;
+use burstcap_tpcw::monitor::TierId;
+use burstcap_tpcw::testbed::{Testbed, TestbedConfig};
+
+fn run(
+    seed: u64,
+    duration: f64,
+    contention: ContentionConfig,
+) -> burstcap_tpcw::monitor::TestbedRun {
+    Testbed::new(
+        TestbedConfig::new(Mix::Browsing, 60)
+            .duration(duration)
+            .seed(seed)
+            .contention(contention),
+    )
+    .expect("valid config")
+    .run()
+    .expect("testbed runs")
+}
+
+/// Streaming the testbed feed reproduces the batch pipeline: identical
+/// demand, near-identical dispersion, comparable prediction.
+#[test]
+fn online_first_fit_matches_batch_planner() {
+    let stable = run(3, 1800.0, ContentionConfig::disabled());
+    let mut feed = ReplaySource::from_run(&stable).expect("feed");
+    let windows = feed.remaining();
+
+    let mut options = OnlinePlannerOptions::new(40, 0.5);
+    options.min_windows = windows; // fit exactly once, from the whole run
+    options.replan_every = windows;
+    let mut planner = OnlinePlanner::new(feed.resolution(), 2, options).expect("planner");
+    let reports = planner.drain(&mut feed).expect("drains");
+    assert_eq!(reports.len(), 1, "one fit from the full feed");
+    assert!(reports[0].refitted && !reports[0].warm_started);
+
+    // Batch pipeline on the same monitoring data.
+    let tier = |id| {
+        let m = stable.monitoring(id).expect("monitoring");
+        TierMeasurements::new(m.resolution, m.utilization, m.completions).expect("measurements")
+    };
+    let (front, db) = (tier(TierId::Front), tier(TierId::Db));
+    let batch = CapacityPlanner::with_options(&front, &db, PlannerOptions::default())
+        .expect("batch planner");
+
+    let online_chars = planner.fitted_characterizations();
+    let batch_chars = [
+        characterize(&front, CharacterizeOptions::default()).expect("front"),
+        characterize(&db, CharacterizeOptions::default()).expect("db"),
+    ];
+    for (o, b) in online_chars.iter().zip(&batch_chars) {
+        // The incremental regressor is bit-identical to the batch pass.
+        assert_eq!(
+            o.mean_service_time.to_bits(),
+            b.mean_service_time.to_bits(),
+            "streaming demand must equal batch demand"
+        );
+        // Integer-exact level sums: rounding-level dispersion gap.
+        assert!(
+            (o.index_of_dispersion - b.index_of_dispersion).abs() / b.index_of_dispersion.max(1.0)
+                < 1e-9,
+            "I: online {} vs batch {}",
+            o.index_of_dispersion,
+            b.index_of_dispersion
+        );
+    }
+
+    // The predictions use sketched p95 targets, so they are close but not
+    // identical.
+    let online_x = planner.prediction().expect("fitted").throughput;
+    let batch_x = batch.predict(40, 0.5).expect("predicts").throughput;
+    assert!(
+        (online_x - batch_x).abs() / batch_x < 0.05,
+        "online {online_x} vs batch {batch_x}"
+    );
+}
+
+/// The detect-and-replan loop: a contention shift mid-stream fires the
+/// detector, the planner re-fits after (and only after) the shift, and the
+/// re-solve warm-starts.
+#[test]
+fn online_planner_tracks_a_regime_shift() {
+    let stable = run(11, 1500.0, ContentionConfig::disabled());
+    let contended = run(
+        12,
+        1500.0,
+        ContentionConfig {
+            trigger_probability: 0.2,
+            slowdown: 9.0,
+            ..ContentionConfig::default()
+        },
+    );
+    let mut feed = ReplaySource::from_run(&stable).expect("feed");
+    let shift = feed.remaining();
+    feed.append_run(&contended).expect("append");
+
+    let mut options = OnlinePlannerOptions::new(60, 0.5);
+    options.min_windows = 150;
+    options.replan_every = 30;
+    options.i_drift_threshold = 5.0;
+    options.detector = CusumOptions {
+        warmup_windows: 40,
+        slack: 0.25,
+        threshold: 8.0,
+    };
+    let mut planner = OnlinePlanner::new(feed.resolution(), 2, options).expect("planner");
+    let reports = planner.drain(&mut feed).expect("drains");
+
+    let first_alarm = reports
+        .iter()
+        .find(|r| r.regime_change)
+        .map(|r| r.window)
+        .expect("shift must alarm");
+    assert!(
+        first_alarm > shift && first_alarm <= shift + 20,
+        "alarm at {first_alarm}, shift at {shift}"
+    );
+    assert!(
+        reports
+            .iter()
+            .filter(|r| r.window > shift)
+            .any(|r| r.refitted),
+        "must re-fit after the shift"
+    );
+    let stats = planner.stats();
+    assert!(stats.regime_changes >= 1);
+    assert!(stats.warm_solves >= 1, "re-solves must warm-start");
+    assert_eq!(stats.refits, stats.warm_solves + stats.cold_solves);
+    // The post-shift model reflects the contended database.
+    let db = planner.fitted_characterizations().last().expect("db tier");
+    assert!(
+        db.index_of_dispersion > 50.0,
+        "contended db must be strongly bursty, I = {}",
+        db.index_of_dispersion
+    );
+}
+
+/// The sar-style text path feeds the same planner: render a testbed run as
+/// text, parse it back, and get the identical first fit.
+#[test]
+fn sar_text_roundtrip_feeds_the_planner() {
+    let stable = run(21, 1200.0, ContentionConfig::disabled());
+    let series = stable.tandem_monitoring().expect("monitoring");
+    let mut text = format!("# resolution: {}\n", series[0].resolution);
+    for k in 0..series[0].utilization.len().min(series[1].utilization.len()) {
+        text.push_str(&format!(
+            "{:.10} {} {:.10} {}\n",
+            series[0].utilization[k],
+            series[0].completions[k],
+            series[1].utilization[k],
+            series[1].completions[k]
+        ));
+    }
+    let mut parsed = SarTextSource::parse(&text).expect("parses");
+    let mut replay = ReplaySource::from_tier_series(&series).expect("replay");
+    assert_eq!(parsed.tier_count(), replay.tier_count());
+
+    let fit_from = |source: &mut dyn WindowSource| {
+        let mut options = OnlinePlannerOptions::new(30, 0.5);
+        options.min_windows = 200;
+        options.replan_every = 1000;
+        let mut planner = OnlinePlanner::new(source.resolution(), 2, options).expect("planner");
+        while let Some(w) = source.next_window().expect("window") {
+            planner.ingest(&w).expect("ingest");
+        }
+        planner
+            .prediction()
+            .expect("enough windows for the first fit")
+            .throughput
+    };
+    let x_text = fit_from(&mut parsed);
+    let x_replay = fit_from(&mut replay);
+    // The text round trip keeps 10 significant digits of utilization, so
+    // the fits are essentially identical.
+    assert!(
+        (x_text - x_replay).abs() / x_replay < 1e-6,
+        "text {x_text} vs replay {x_replay}"
+    );
+}
