@@ -1,7 +1,7 @@
 //! Performance-trajectory snapshot: times the CTMC solver stack on the
 //! paper's MAP(2)×MAP(2) network and writes a `BENCH_*.json` record.
 //!
-//! Three sweeps:
+//! Four sweeps:
 //!
 //! * **dense-feasible populations** — dense LU oracle vs the sparse CSR
 //!   engine on identical instances, ending at the largest population the
@@ -12,7 +12,12 @@
 //!   intractable;
 //! * **station-count scaling** — the N-station generalization across
 //!   `M x population` (tandems of 2, 3, and 4 MAP(2) stations) through
-//!   `solve_auto`, with the `M = 3` point surfaced in the JSON summary.
+//!   `solve_auto`, with the `M = 3` point surfaced in the JSON summary;
+//! * **matrix-free frontier** — states vs wall-clock and peak-memory for
+//!   the matrix-free engine on an `M x population` grid pushing past the
+//!   CSR engine's comfortable range (to 742k states at `M = 4`,
+//!   population 30 in full mode), cross-checked against the CSR engine
+//!   where both still run.
 //!
 //! Usage: `cargo run --release -p burstcap-bench --bin bench_baseline
 //! [output.json]` (default output `BENCH_baseline.json` in the current
@@ -38,6 +43,14 @@ const SPARSE_POPS: [usize; 3] = [50, 75, 100];
 /// Station-count scaling grid: `(M, populations)` pairs solved via
 /// `solve_auto` (populations shrink with M to keep the grid fast).
 const STATION_GRID: [(usize, [usize; 2]); 3] = [(2, [30, 60]), (3, [20, 40]), (4, [10, 20])];
+/// Matrix-free frontier grid (`(M, population)` points); the full grid ends
+/// at 742k states, far past where assembling the CSR generator is sensible.
+const FRONTIER_GRID: [(usize, usize); 4] = [(3, 40), (3, 60), (4, 20), (4, 30)];
+/// Fast-mode frontier grid: the two points that still cross-check vs CSR.
+const FRONTIER_GRID_FAST: [(usize, usize); 2] = [(3, 40), (4, 20)];
+/// Largest state count where the CSR engine is also run as a cross-check;
+/// above this only the matrix-free engine solves the point.
+const CSR_CROSSCHECK_MAX_STATES: usize = 200_000;
 
 struct Record {
     stations: usize,
@@ -47,6 +60,61 @@ struct Record {
     method: &'static str,
     median_ms: f64,
     throughput: f64,
+}
+
+/// One point of the matrix-free states-vs-cost frontier. Memory figures are
+/// analytic working-set sizes (not RSS): the matrix-free engine holds three
+/// state-length `f64` vectors, the CSR engine additionally materializes the
+/// generator (`nnz` value/column pairs plus a row-pointer array).
+struct FrontierPoint {
+    stations: usize,
+    population: usize,
+    states: usize,
+    matfree_ms: f64,
+    iterations: usize,
+    throughput: f64,
+    matfree_peak_bytes: usize,
+    csr_ms: Option<f64>,
+    csr_nnz: Option<usize>,
+    csr_peak_bytes: usize,
+    csr_bytes_estimated: bool,
+    rel_gap: Option<f64>,
+}
+
+/// CSR working set: `nnz` (f64 value + usize column) entries, a row-pointer
+/// array, and the same three iteration vectors the matrix-free engine uses.
+fn csr_peak_bytes(states: usize, nnz: usize) -> usize {
+    nnz * 16 + (states + 1) * 8 + states * 8 * 3
+}
+
+/// JSON summary of the frontier: its largest point, the worst cross-check
+/// disagreement, and the worker count the timings were taken with (this
+/// container exposes a single hardware thread, so wall-clock speedup from
+/// partitioning is machine-bound; the memory ratio is not).
+fn frontier_summary(frontier: &[FrontierPoint]) -> JsonObject {
+    let largest = frontier.iter().max_by_key(|p| p.states).expect("non-empty");
+    let worst_gap = frontier
+        .iter()
+        .filter_map(|p| p.rel_gap)
+        .fold(0.0_f64, f64::max);
+    JsonObject::new()
+        .field("stations", largest.stations)
+        .field("population", largest.population)
+        .field("states", largest.states)
+        .field("matfree_ms", JsonValue::f(largest.matfree_ms, 3))
+        .field("iterations", largest.iterations)
+        .field("matfree_peak_bytes", largest.matfree_peak_bytes)
+        .field("csr_peak_bytes", largest.csr_peak_bytes)
+        .field("csr_bytes_estimated", largest.csr_bytes_estimated)
+        .field(
+            "memory_ratio",
+            JsonValue::f(
+                largest.csr_peak_bytes as f64 / largest.matfree_peak_bytes as f64,
+                2,
+            ),
+        )
+        .field("worst_csr_rel_gap", JsonValue::sci(worst_gap, 3))
+        .field("workers", burstcap_qn::matfree::default_workers())
 }
 
 fn median_ms(reps: usize, mut solve: impl FnMut() -> Result<MapQnSolution, QnError>) -> (f64, f64) {
@@ -176,6 +244,91 @@ fn main() {
         }
     }
 
+    burstcap_bench::header("bench_baseline: matrix-free frontier (states vs wall-clock / memory)");
+    // Single-shot timings: these are the longest solves in the suite, and the
+    // point of the sweep is the states-vs-cost shape, not median stability.
+    let frontier_grid: &[(usize, usize)] = if fast {
+        &FRONTIER_GRID_FAST
+    } else {
+        &FRONTIER_GRID
+    };
+    let mut frontier: Vec<FrontierPoint> = Vec::new();
+    // Transition density (nnz per state) measured at the assembled points and
+    // reused to estimate CSR storage where assembly is deliberately skipped.
+    let mut nnz_per_state = 0.0_f64;
+    for &(m, pop) in frontier_grid {
+        let mut stations = vec![front];
+        stations.resize(m - 1, extra);
+        stations.push(db);
+        let net = MapNetwork::tandem(pop, think, stations).expect("valid network");
+        let states = net.state_count();
+        let t0 = Instant::now();
+        let sol = net.solve_matrix_free(0).expect("matrix-free solve");
+        let matfree_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let matfree_peak_bytes = states * 8 * 3;
+        let (csr_ms, csr_nnz, rel_gap) = if states <= CSR_CROSSCHECK_MAX_STATES {
+            let nnz = net.outgoing_csr().expect("assembles").nnz();
+            nnz_per_state = nnz as f64 / states as f64;
+            let t1 = Instant::now();
+            let csr = net.solve_sparse().expect("csr solve");
+            let csr_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let gap = (sol.throughput - csr.throughput).abs() / csr.throughput;
+            assert!(
+                gap < 1e-8,
+                "matrix-free vs CSR disagree at M={m} pop {pop}: rel gap {gap:.3e}"
+            );
+            (Some(csr_ms), Some(nnz), Some(gap))
+        } else {
+            (None, None, None)
+        };
+        let (csr_bytes, estimated) = match csr_nnz {
+            Some(nnz) => (csr_peak_bytes(states, nnz), false),
+            // Density extrapolated from the last assembled point; marked as
+            // an estimate in the JSON.
+            None => (
+                csr_peak_bytes(states, (nnz_per_state * states as f64) as usize),
+                true,
+            ),
+        };
+        let mb = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
+        println!(
+            "{}",
+            burstcap_bench::row(
+                &format!("M={m} pop {pop} ({states} states)"),
+                &[
+                    format!(
+                        "matfree {matfree_ms:.1} ms / {} it",
+                        sol.diagnostics.iterations
+                    ),
+                    match csr_ms {
+                        Some(ms) => format!("CSR {ms:.1} ms"),
+                        None => "CSR skipped".to_string(),
+                    },
+                    format!(
+                        "mem {:.1} vs {:.1}{} MB",
+                        mb(matfree_peak_bytes),
+                        mb(csr_bytes),
+                        if estimated { "~" } else { "" }
+                    ),
+                ],
+            )
+        );
+        frontier.push(FrontierPoint {
+            stations: m,
+            population: pop,
+            states,
+            matfree_ms,
+            iterations: sol.diagnostics.iterations,
+            throughput: sol.throughput,
+            matfree_peak_bytes,
+            csr_ms,
+            csr_nnz,
+            csr_peak_bytes: csr_bytes,
+            csr_bytes_estimated: estimated,
+            rel_gap,
+        });
+    }
+
     let speedup = dense_at_largest / sparse_at_largest;
     let largest = *DENSE_FEASIBLE_POPS.last().expect("non-empty");
     let largest_states = MapNetwork::new(largest, think, front, db)
@@ -196,6 +349,32 @@ fn main() {
             .field("index_of_dispersion", JsonValue::f(i, 1))
             .field("p95", JsonValue::f(p95, 3))
     };
+    let frontier_rows: Vec<JsonValue> = frontier
+        .iter()
+        .map(|p| {
+            let mut obj = JsonObject::new()
+                .field("stations", p.stations)
+                .field("population", p.population)
+                .field("states", p.states)
+                .field("method", "matrix_free_jacobi")
+                .field("matfree_ms", JsonValue::f(p.matfree_ms, 3))
+                .field("iterations", p.iterations)
+                .field("throughput", JsonValue::f(p.throughput, 6))
+                .field("matfree_peak_bytes", p.matfree_peak_bytes)
+                .field("csr_peak_bytes", p.csr_peak_bytes)
+                .field("csr_bytes_estimated", p.csr_bytes_estimated);
+            if let Some(ms) = p.csr_ms {
+                obj = obj.field("csr_ms", JsonValue::f(ms, 3));
+            }
+            if let Some(nnz) = p.csr_nnz {
+                obj = obj.field("csr_nnz", nnz);
+            }
+            if let Some(gap) = p.rel_gap {
+                obj = obj.field("csr_rel_gap", JsonValue::sci(gap, 3));
+            }
+            obj.into()
+        })
+        .collect();
     let rows: Vec<JsonValue> = records
         .iter()
         .map(|r| {
@@ -237,6 +416,8 @@ fn main() {
                 .field("solve_auto_ms", JsonValue::f(m3_ms, 3))
                 .field("throughput", JsonValue::f(m3_x, 6)),
         )
-        .field("results", rows);
+        .field("matrix_free_frontier", frontier_summary(&frontier))
+        .field("results", rows)
+        .field("frontier_points", frontier_rows);
     burstcap_bench::json::write_report(&out_path, &report);
 }

@@ -28,10 +28,13 @@ use crate::PlanError;
 /// trade-off).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SolverStrategy {
-    /// Direct level-reduction below the state-count threshold, sparse CSR
-    /// engine above it, with an automatic fallback to direct when the
-    /// iterative engine stalls on a stiff chain. The default, with the
-    /// measured crossover [`AUTO_SPARSE_THRESHOLD`] as threshold.
+    /// Three-tier automatic selection: direct level-reduction below the
+    /// state-count threshold, sparse CSR engine above it, and the
+    /// matrix-free parallel engine past
+    /// [`burstcap_qn::mapqn::AUTO_MATFREE_THRESHOLD`] states — each
+    /// iterative tier with an automatic fallback when it stalls on a stiff
+    /// chain. The default, with the measured crossover
+    /// [`AUTO_SPARSE_THRESHOLD`] as the first threshold.
     Auto {
         /// State count above which the sparse engine is tried first.
         sparse_above_states: usize,
@@ -41,6 +44,10 @@ pub enum SolverStrategy {
     /// Always the sparse CSR engine (Gauss-Seidel; may legitimately fail
     /// with a no-convergence error on nearly decomposable chains).
     Sparse,
+    /// Always the matrix-free parallel engine (damped Jacobi over scoped
+    /// worker threads; the generator is never materialized, so this is the
+    /// only engine that reaches state spaces past the CSR memory wall).
+    MatrixFree,
 }
 
 impl Default for SolverStrategy {
@@ -59,6 +66,8 @@ impl SolverStrategy {
             } => net.solve_auto(sparse_above_states),
             SolverStrategy::Direct => net.solve(),
             SolverStrategy::Sparse => net.solve_sparse(),
+            // workers = 0: the env-var / parallelism default.
+            SolverStrategy::MatrixFree => net.solve_matrix_free(0),
         }
     }
 }
@@ -551,6 +560,7 @@ mod tests {
         for solver in [
             SolverStrategy::Direct,
             SolverStrategy::Sparse,
+            SolverStrategy::MatrixFree,
             SolverStrategy::Auto {
                 sparse_above_states: 0,
             },

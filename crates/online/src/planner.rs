@@ -26,7 +26,7 @@ use burstcap::planner::{fit_characterization, Prediction};
 use burstcap::report::{OnlineReport, OnlineTierStatus};
 use burstcap::PlanError;
 use burstcap_map::fit::FittedMap2;
-use burstcap_qn::mapqn::MapNetwork;
+use burstcap_qn::mapqn::{MapNetwork, AUTO_MATFREE_THRESHOLD};
 use burstcap_qn::QnError;
 
 use crate::detector::{CusumDetector, CusumOptions};
@@ -126,8 +126,13 @@ pub struct SolveStats {
     pub refits: usize,
     /// Solves warm-started from the previous stationary vector.
     pub warm_solves: usize,
-    /// Cold solves (first fit, state-space change, or stalled warm sweep).
+    /// Cold solves (first fit or state-space change).
     pub cold_solves: usize,
+    /// Solves whose iterative attempt stalled and fell back to another
+    /// engine (reported by [`burstcap_qn::mapqn::SolveDiagnostics`]; these
+    /// also count as warm or cold above — the warm start is *kept* across
+    /// the fallback, not discarded).
+    pub stalled_fallbacks: usize,
     /// Regime-change alarms acted upon.
     pub regime_changes: usize,
 }
@@ -398,18 +403,31 @@ impl OnlinePlanner {
             fits.iter().map(|f| f.map()).collect(),
         )?;
         let guess = self.pi.take().filter(|p| p.len() == net.state_count());
-        let mut warm = guess.is_some();
-        let solution = match net.solve_sparse_with_initial(guess) {
+        let warm = guess.is_some();
+        // Engine tier by state count, mirroring solve_auto: the CSR sweep up
+        // to the matrix-free crossover, the matrix-free parallel engine
+        // above it (where the CSR arrays would dominate memory).
+        let attempt = if net.state_count() > AUTO_MATFREE_THRESHOLD {
+            net.solve_matrix_free_with_initial(0, guess.clone())
+        } else {
+            net.solve_sparse_with_initial(guess.clone())
+        };
+        let solution = match attempt {
             Ok((solution, pi)) => {
                 self.pi = Some(pi);
                 solution
             }
             Err(QnError::NoConvergence { .. }) => {
-                // Stiff chain: the stiffness-proof direct solver, cold (it
-                // does not expose a stationary vector to chain from).
-                warm = false;
-                self.pi = None;
-                net.solve()?
+                // Stiff chain: the stiffness-proof direct solver through the
+                // same warm-startable seam. The stationary vector is kept,
+                // so the *next* window still warm-starts — the old path
+                // solved cold and discarded it, breaking the chain exactly
+                // when the model got stiff.
+                let (mut solution, pi) = net.solve_with_initial(guess)?;
+                solution.diagnostics.fell_back = true;
+                self.pi = Some(pi);
+                self.stats.stalled_fallbacks += 1;
+                solution
             }
             Err(e) => return Err(e.into()),
         };

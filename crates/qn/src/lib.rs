@@ -10,7 +10,10 @@
 //!   queues with **MAP(2) service processes** and an exponential think stage,
 //!   solved *exactly* by building the underlying CTMC and computing its
 //!   stationary distribution with the sparse solvers in [`ctmc`], which run
-//!   on the compressed-sparse-row substrate in [`csr`].
+//!   on the compressed-sparse-row substrate in [`csr`] — or, past the CSR
+//!   memory wall, with the matrix-free parallel engine in [`matfree`], which
+//!   applies the generator straight from the MAP(2) factors without ever
+//!   assembling it.
 //!
 //! # Example: MVA vs the MAP-aware model
 //!
@@ -40,6 +43,7 @@ pub mod csr;
 pub mod ctmc;
 mod error;
 pub mod mapqn;
+pub mod matfree;
 pub mod mva;
 
 pub use error::QnError;

@@ -54,6 +54,7 @@ use burstcap_map::Map2;
 
 use crate::csr::CsrMatrix;
 use crate::ctmc::{Ctmc, SparseMethod, SteadyStateMethod};
+use crate::matfree::{MatFreeMethod, MatrixFreeGenerator};
 use crate::QnError;
 
 /// Default cap on CTMC size (states).
@@ -64,6 +65,58 @@ pub const DEFAULT_STATE_LIMIT: usize = 2_000_000;
 /// (measured on MAP(2)×MAP(2) networks; the exact crossover varies a little
 /// with stiffness and station count).
 pub const AUTO_SPARSE_THRESHOLD: usize = 10_000;
+
+/// Default state-count crossover between the CSR sparse engine and the
+/// matrix-free engine in [`MapNetwork::solve_auto`]: above this the
+/// `O(nnz)` CSR arrays dominate memory (a `C(N+M,M)·2^M`-state tandem has
+/// `≈ (2 + 3M)` transitions per state) and the matrix-free sweep — which
+/// regenerates transitions from the per-station `Map2` factors on the fly,
+/// `O(states·M)` memory total — takes over. Measured on the bench frontier
+/// grid (`M = 3..4`, populations past the 170k-state point); see
+/// `BENCH_baseline.json`.
+pub const AUTO_MATFREE_THRESHOLD: usize = 120_000;
+
+/// Which steady-state engine produced a [`MapQnSolution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveEngine {
+    /// Block level-reduction (finite-QBD direct method).
+    Direct,
+    /// Dense LU on the full generator (small-model oracle).
+    DenseLu,
+    /// CSR-backed iterative sweep (Gauss-Seidel or uniformized power).
+    SparseCsr,
+    /// Matrix-free parallel sweep (no generator materialization).
+    MatrixFree,
+}
+
+/// How a solve actually ran: which engine produced the answer, how many
+/// sweeps it took, and whether an iterative attempt stalled first.
+///
+/// Every [`MapQnSolution`] carries one of these so callers such as
+/// `OnlinePlanner` and the bench can distinguish a warm solve that converged
+/// from one that silently fell back to the (cold, slower) direct engine —
+/// previously both looked identical and timings were misattributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveDiagnostics {
+    /// Engine that produced the returned metrics.
+    pub engine: SolveEngine,
+    /// Iterations (sweeps) that engine performed; `0` for direct methods.
+    pub iterations: usize,
+    /// `true` when an iterative attempt stalled and a fallback engine
+    /// produced the answer instead.
+    pub fell_back: bool,
+}
+
+impl SolveDiagnostics {
+    /// Diagnostics of a first-try direct solve (no iterations, no fallback).
+    pub(crate) fn direct() -> Self {
+        SolveDiagnostics {
+            engine: SolveEngine::Direct,
+            iterations: 0,
+            fell_back: false,
+        }
+    }
+}
 
 /// Closed tandem network: think (exp) → station 1 (MAP2) → … → station M
 /// (MAP2) → think.
@@ -103,39 +156,86 @@ pub struct MapQnSolution {
     pub response_time: f64,
     /// Number of CTMC states solved.
     pub states: usize,
+    /// Which engine produced this solution and how much work it did.
+    pub diagnostics: SolveDiagnostics,
+}
+
+impl MapQnSolution {
+    fn with_diagnostics(mut self, diagnostics: SolveDiagnostics) -> Self {
+        self.diagnostics = diagnostics;
+        self
+    }
 }
 
 /// Combinatorial ranking of occupancy vectors (the combinatorial number
 /// system over `cum[d][b] = C(b + d, d)`, the count of `d`-component
-/// occupancy vectors with total at most `b`).
-struct StateIndexer {
+/// occupancy vectors with total at most `b`). Shared with the matrix-free
+/// engine in [`crate::matfree`], which ranks and unranks states on the fly
+/// instead of materializing the generator.
+#[derive(Debug, Clone)]
+pub(crate) struct StateIndexer {
     n: usize,
-    phases: usize,
+    pub(crate) phases: usize,
     cum: Vec<Vec<usize>>,
 }
 
 impl StateIndexer {
-    fn new(n: usize, m: usize) -> Self {
+    /// Checked construction: every table entry is built with `checked_add`,
+    /// and the final `C(n + m, m) * 2^m` state count must be representable.
+    /// An overflow means the state space does not fit in a `usize` — far
+    /// beyond any configured cap — so it is reported as the typed
+    /// [`QnError::StateSpaceTooLarge`] (with a saturated `states` field)
+    /// rather than left to a separate limit check that a regression could
+    /// silently bypass, corrupting every rank the indexer hands out.
+    fn try_new(n: usize, m: usize, limit: usize) -> Result<Self, QnError> {
+        let overflow = || QnError::StateSpaceTooLarge {
+            states: usize::MAX,
+            limit,
+        };
         // cum[0][b] = 1; C(b + d, d) = C(b - 1 + d, d) + C(b + d - 1, d - 1).
-        // Saturating: an overflowing table entry can only be reached by a
-        // state space the limit check rejects anyway.
         let mut cum = vec![vec![1usize; n + 1]; m + 1];
         for d in 1..=m {
             for b in 0..=n {
                 let left = if b == 0 { 0 } else { cum[d][b - 1] };
-                cum[d][b] = left.saturating_add(cum[d - 1][b]);
+                cum[d][b] = left.checked_add(cum[d - 1][b]).ok_or_else(overflow)?;
             }
         }
-        StateIndexer {
-            n,
-            phases: 1usize << m,
-            cum,
+        let phases = 1usize.checked_shl(m as u32).ok_or_else(overflow)?;
+        cum[m][n].checked_mul(phases).ok_or_else(overflow)?;
+        Ok(StateIndexer { n, phases, cum })
+    }
+
+    /// Total number of CTMC states the indexer ranks: occupancy count times
+    /// the phase factor (overflow-checked at construction).
+    pub(crate) fn state_count(&self) -> usize {
+        let m = self.phases.trailing_zeros() as usize;
+        self.cum[m][self.n] * self.phases
+    }
+
+    /// Inverse of [`StateIndexer::occ_rank`]: the occupancy vector at the
+    /// given lexicographic rank. `O(N·M)` — used once per worker to seed a
+    /// row range, not on the per-state hot path.
+    pub(crate) fn unrank(&self, mut rank: usize) -> Vec<usize> {
+        let m = self.phases.trailing_zeros() as usize;
+        let mut occ = vec![0usize; m];
+        let mut b = self.n;
+        for (i, slot) in occ.iter_mut().enumerate() {
+            let d = m - i;
+            // Largest component value whose predecessor count fits in rank.
+            let mut o = 0usize;
+            while o < b && self.cum[d][b] - self.cum[d][b - (o + 1)] <= rank {
+                o += 1;
+            }
+            rank -= self.cum[d][b] - self.cum[d][b - o];
+            *slot = o;
+            b -= o;
         }
+        occ
     }
 
     /// Lexicographic rank of `occ` among all occupancy vectors with total at
     /// most `n`.
-    fn occ_rank(&self, occ: &[usize]) -> usize {
+    pub(crate) fn occ_rank(&self, occ: &[usize]) -> usize {
         let m = occ.len();
         let mut r = 0;
         let mut b = self.n;
@@ -149,7 +249,7 @@ impl StateIndexer {
 
     /// Lexicographic rank of `comp` among the compositions of its own total
     /// (the within-level local index, before the phase factor).
-    fn comp_rank(&self, comp: &[usize]) -> usize {
+    pub(crate) fn comp_rank(&self, comp: &[usize]) -> usize {
         let m = comp.len();
         let mut r = 0;
         let mut s: usize = comp.iter().sum();
@@ -197,12 +297,12 @@ fn fill_compositions(rest: usize, dim: usize, scratch: &mut Vec<usize>, out: &mu
 /// 0 is the most significant bit, matching the historical `p_f * 2 + p_d`
 /// layout for `M = 2`).
 #[inline]
-fn phase_of(q: usize, i: usize, m: usize) -> usize {
+pub(crate) fn phase_of(q: usize, i: usize, m: usize) -> usize {
     (q >> (m - 1 - i)) & 1
 }
 
 #[inline]
-fn with_phase(q: usize, i: usize, j: usize, m: usize) -> usize {
+pub(crate) fn with_phase(q: usize, i: usize, j: usize, m: usize) -> usize {
     (q & !(1 << (m - 1 - i))) | (j << (m - 1 - i))
 }
 
@@ -322,6 +422,11 @@ impl MapNetwork {
             });
         }
         Ok(states)
+    }
+
+    /// Build the (overflow-checked) combinatorial indexer for this network.
+    fn indexer(&self) -> Result<StateIndexer, QnError> {
+        StateIndexer::try_new(self.population, self.stations.len(), self.state_limit)
     }
 
     // ------------------------------------------------------------------
@@ -452,11 +557,60 @@ impl MapNetwork {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn solve(&self) -> Result<MapQnSolution, QnError> {
+        Ok(self.solve_with_initial(None)?.0)
+    }
+
+    /// The direct level-reduction solve through the **same seam** as
+    /// [`MapNetwork::solve_sparse_with_initial`]: accepts an (optional)
+    /// stationary-vector guess and returns both the metrics and the flat
+    /// stationary vector.
+    ///
+    /// The direct method is non-iterative, so the guess cannot speed it up —
+    /// it is validated (length must match [`MapNetwork::state_count`]) and
+    /// otherwise unused. What the seam buys is the *output*: every
+    /// stall-fallback from an iterative engine used to land here, solve
+    /// cold, and **discard** the stationary vector, so the caller's warm
+    ///-start chain broke exactly when the chain got stiff. Returning the
+    /// flat `pi` keeps warm-starting alive across fallbacks.
+    ///
+    /// # Errors
+    /// Rejects a wrong-length guess; otherwise as [`MapNetwork::solve`].
+    ///
+    /// # Example
+    /// ```
+    /// use burstcap_map::Map2;
+    /// use burstcap_qn::mapqn::MapNetwork;
+    ///
+    /// let net = MapNetwork::new(8, 0.5, Map2::poisson(100.0)?, Map2::poisson(50.0)?)?;
+    /// let (sol, pi) = net.solve_with_initial(None)?;
+    /// assert_eq!(pi.len(), net.state_count());
+    /// assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    /// // The vector seeds the next (possibly iterative) solve.
+    /// let (warm, _) = net.solve_sparse_with_initial(Some(pi))?;
+    /// assert!((warm.throughput - sol.throughput).abs() / sol.throughput < 1e-8);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn solve_with_initial(
+        &self,
+        guess: Option<Vec<f64>>,
+    ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
         self.check_state_limit()?;
+        if let Some(g) = &guess {
+            if g.len() != self.state_count() {
+                return Err(QnError::InvalidParameter {
+                    name: "guess",
+                    reason: format!(
+                        "initial vector has {} entries, chain has {} states",
+                        g.len(),
+                        self.state_count()
+                    ),
+                });
+            }
+        }
         let n = self.population;
         let z = self.think_time;
         let m = self.stations.len();
-        let idx = StateIndexer::new(n, m);
+        let idx = self.indexer()?;
         let phases = idx.phases;
         let comps: Vec<Vec<Vec<usize>>> = (0..=n).map(|l| compositions(l, m)).collect();
 
@@ -521,7 +675,20 @@ impl MapNetwork {
         })?;
 
         let levels = forward_pass(pi0, &u_blocks, |l| comps[l].len() * phases)?;
-        Ok(self.metrics_from_levels(&levels, &comps))
+        let solution = self.metrics_from_levels(&levels, &comps);
+        // Flatten the level blocks back into combinatorial flat-index order
+        // so the vector can warm-start a subsequent iterative solve.
+        let mut pi = Vec::with_capacity(self.state_count());
+        let mut occ = vec![0usize; m];
+        loop {
+            let total: usize = occ.iter().sum();
+            let local_base = idx.comp_rank(&occ) * phases;
+            pi.extend_from_slice(&levels[total][local_base..local_base + phases]);
+            if !next_occupancy(&mut occ, total, n) {
+                break;
+            }
+        }
+        Ok((solution, pi))
     }
 
     /// The preserved two-station direct solver — the exact code path the
@@ -699,9 +866,20 @@ impl MapNetwork {
     /// ```
     pub fn solve_iterative(&self, method: SteadyStateMethod) -> Result<MapQnSolution, QnError> {
         self.check_state_limit()?;
+        let idx = self.indexer()?;
         let chain = Ctmc::from_outgoing_csr(self.outgoing_csr()?)?;
-        let pi = chain.steady_state(method)?;
-        Ok(self.metrics_from_flat(&pi))
+        let engine = match method {
+            SteadyStateMethod::DenseLu { .. } => SolveEngine::DenseLu,
+            SteadyStateMethod::Sparse(_) => SolveEngine::SparseCsr,
+        };
+        let run = chain.steady_state_run(method, None)?;
+        Ok(self
+            .metrics_from_flat(&idx, &run.pi)
+            .with_diagnostics(SolveDiagnostics {
+                engine,
+                iterations: run.iterations,
+                fell_back: false,
+            }))
     }
 
     /// Solve via the sparse engine with production tuning: Gauss-Seidel at a
@@ -774,6 +952,7 @@ impl MapNetwork {
         guess: Option<Vec<f64>>,
     ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
         self.check_state_limit()?;
+        let idx = self.indexer()?;
         let chain = Ctmc::from_outgoing_csr(self.outgoing_csr()?)?;
         // omega < 1: plain Gauss-Seidel limit-cycles on these QBD chains
         // (see the SparseMethod::GaussSeidel docs).
@@ -782,30 +961,140 @@ impl MapNetwork {
             tol: 1e-12,
             max_iter: 400_000,
         });
-        let pi = match guess {
-            Some(g) => chain.steady_state_from(method, g)?,
-            None => chain.steady_state(method)?,
-        };
-        let solution = self.metrics_from_flat(&pi);
-        Ok((solution, pi))
+        let run = chain.steady_state_run(method, guess)?;
+        let solution = self
+            .metrics_from_flat(&idx, &run.pi)
+            .with_diagnostics(SolveDiagnostics {
+                engine: SolveEngine::SparseCsr,
+                iterations: run.iterations,
+                fell_back: false,
+            });
+        Ok((solution, run.pi))
     }
 
-    /// Solve with automatic engine selection: the direct level-reduction
-    /// (immune to stiffness) for state spaces up to `sparse_above_states`,
-    /// and the sparse CSR engine above it. A sparse attempt that stalls —
-    /// fitted bursty MAPs with phase persistence close to 1 make the chain
-    /// nearly completely decomposable — falls back to the direct solver, so
-    /// the method never fails merely because the iterative engine could not
-    /// converge. Works for any station count `M`.
-    ///
-    /// The measured crossover on MAP(2)×MAP(2) networks sits around 10⁴
-    /// states (population ≈ 70 at `M = 2`): below it the direct solver
-    /// wins, above it the sparse sweep's `O(transitions)` iterations win.
-    /// That value is exported as [`AUTO_SPARSE_THRESHOLD`].
+    /// The matrix-free generator operator for this network: applies `Q`
+    /// directly from the per-station `Map2` factors and the combinatorial
+    /// ranking, `O(states · M)` memory instead of the CSR engine's
+    /// `O(transitions)`. Feed it to [`crate::matfree::steady_state`] (or use
+    /// [`MapNetwork::solve_matrix_free`], which does exactly that).
     ///
     /// # Errors
-    /// Propagates state-limit and construction errors, and direct-solver
-    /// failures after a fallback.
+    /// Refuses state spaces beyond the configured limit and spaces whose
+    /// size overflows a `usize`.
+    pub fn matrix_free(&self) -> Result<MatrixFreeGenerator, QnError> {
+        self.check_state_limit()?;
+        let idx = self.indexer()?;
+        Ok(MatrixFreeGenerator::build(
+            self.population,
+            self.think_time,
+            self.stations.clone(),
+            idx,
+        ))
+    }
+
+    /// Solve via the matrix-free parallel engine: a damped Jacobi sweep over
+    /// the operator of [`MapNetwork::matrix_free`], row ranges partitioned
+    /// across `workers` scoped threads (`0` = auto: the
+    /// `BURSTCAP_SOLVER_WORKERS` env var, else available parallelism).
+    ///
+    /// The iterates are **bit-identical across worker counts**: every row's
+    /// inflow is accumulated in a fixed order regardless of partition, and
+    /// normalization runs as a serial pass.
+    ///
+    /// # Errors
+    /// Propagates limit/overflow errors and [`QnError::NoConvergence`] on
+    /// chains stiff enough to stall the sweep.
+    ///
+    /// # Example
+    /// ```
+    /// use burstcap_map::Map2;
+    /// use burstcap_qn::mapqn::MapNetwork;
+    ///
+    /// let net = MapNetwork::new(12, 0.5, Map2::poisson(100.0)?, Map2::poisson(50.0)?)?;
+    /// let mf = net.solve_matrix_free(1)?;
+    /// let direct = net.solve()?;
+    /// assert!((mf.throughput - direct.throughput).abs() / direct.throughput < 1e-8);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn solve_matrix_free(&self, workers: usize) -> Result<MapQnSolution, QnError> {
+        Ok(self.solve_matrix_free_with_initial(workers, None)?.0)
+    }
+
+    /// Warm-startable matrix-free solve: [`MapNetwork::solve_matrix_free`]
+    /// seeded from a caller-provided stationary-vector guess, returning both
+    /// the metrics and the stationary vector — the same seam as
+    /// [`MapNetwork::solve_sparse_with_initial`], extended to the engine
+    /// tier where warm starts matter most (each sweep touches every state).
+    ///
+    /// # Errors
+    /// Rejects a wrong-length guess; otherwise as
+    /// [`MapNetwork::solve_matrix_free`].
+    pub fn solve_matrix_free_with_initial(
+        &self,
+        workers: usize,
+        guess: Option<Vec<f64>>,
+    ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
+        let op = self.matrix_free()?;
+        let run = crate::matfree::steady_state(&op, MatFreeMethod::default(), workers, guess)?;
+        let idx = self.indexer()?;
+        let solution = self
+            .metrics_from_flat(&idx, &run.pi)
+            .with_diagnostics(SolveDiagnostics {
+                engine: SolveEngine::MatrixFree,
+                iterations: run.iterations,
+                fell_back: false,
+            });
+        Ok((solution, run.pi))
+    }
+
+    /// Bounded warm-startable sparse attempt for the auto tier: tuned so a
+    /// stall costs a fraction of the direct solve it falls back to.
+    fn solve_sparse_bounded(
+        &self,
+        guess: Option<Vec<f64>>,
+    ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
+        self.check_state_limit()?;
+        let idx = self.indexer()?;
+        let chain = Ctmc::from_outgoing_csr(self.outgoing_csr()?)?;
+        let method = SteadyStateMethod::Sparse(SparseMethod::GaussSeidel {
+            omega: 0.95,
+            tol: 1e-10,
+            max_iter: 40_000,
+        });
+        let run = chain.steady_state_run(method, guess)?;
+        let solution = self
+            .metrics_from_flat(&idx, &run.pi)
+            .with_diagnostics(SolveDiagnostics {
+                engine: SolveEngine::SparseCsr,
+                iterations: run.iterations,
+                fell_back: false,
+            });
+        Ok((solution, run.pi))
+    }
+
+    /// Solve with automatic engine selection — three tiers by state count:
+    ///
+    /// 1. **Direct** level-reduction (immune to stiffness) up to
+    ///    `sparse_above_states`;
+    /// 2. **Sparse CSR** Gauss-Seidel up to
+    ///    `max(sparse_above_states, `[`AUTO_MATFREE_THRESHOLD`]`)`, with a
+    ///    stall falling back to the direct solver;
+    /// 3. **Matrix-free parallel** Jacobi above that — the generator is
+    ///    never materialized — with a stall falling back to the full-budget
+    ///    CSR sweep (the direct solver's dense level blocks are infeasible
+    ///    at this size).
+    ///
+    /// Fallbacks are recorded in [`MapQnSolution::diagnostics`]
+    /// (`fell_back = true`), so callers can tell a warm-converged solve from
+    /// one that stalled and re-solved. Works for any station count `M`.
+    ///
+    /// The measured crossovers: direct → CSR around 10⁴ states
+    /// ([`AUTO_SPARSE_THRESHOLD`]), CSR → matrix-free around
+    /// [`AUTO_MATFREE_THRESHOLD`] states (see `BENCH_baseline.json`).
+    ///
+    /// # Errors
+    /// Propagates state-limit and construction errors, and fallback-engine
+    /// failures.
     ///
     /// # Example
     /// ```
@@ -819,19 +1108,55 @@ impl MapNetwork {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn solve_auto(&self, sparse_above_states: usize) -> Result<MapQnSolution, QnError> {
-        if self.state_count() <= sparse_above_states {
-            return self.solve();
+        Ok(self.solve_auto_with_initial(sparse_above_states, None)?.0)
+    }
+
+    /// Warm-startable [`MapNetwork::solve_auto`]: the same three-tier engine
+    /// selection, seeded from an optional stationary-vector guess and
+    /// returning the stationary vector alongside the metrics. The guess
+    /// survives fallbacks: a stalled iterative attempt hands it to the
+    /// fallback engine instead of discarding it.
+    ///
+    /// # Errors
+    /// As [`MapNetwork::solve_auto`], plus rejection of wrong-length
+    /// guesses.
+    pub fn solve_auto_with_initial(
+        &self,
+        sparse_above_states: usize,
+        guess: Option<Vec<f64>>,
+    ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
+        let states = self.state_count();
+        if states <= sparse_above_states {
+            return self.solve_with_initial(guess);
         }
-        // Bounded sparse attempt: well within the sweep counts the engine
-        // needs on chains it converges on at all, small enough that a stall
-        // costs a fraction of the direct solve it falls back to.
-        let attempt = self.solve_iterative(SteadyStateMethod::Sparse(SparseMethod::GaussSeidel {
-            omega: 0.95,
-            tol: 1e-10,
-            max_iter: 40_000,
-        }));
-        match attempt {
-            Err(QnError::NoConvergence { .. }) => self.solve(),
+        if states <= AUTO_MATFREE_THRESHOLD.max(sparse_above_states) {
+            // Tier 2: bounded sparse attempt; a stall (fitted bursty MAPs
+            // with phase persistence close to 1 make the chain nearly
+            // completely decomposable) falls back to the direct solver.
+            return match self.solve_sparse_bounded(guess.clone()) {
+                Err(QnError::NoConvergence { .. }) => {
+                    let (sol, pi) = self.solve_with_initial(guess)?;
+                    Ok((
+                        sol.with_diagnostics(SolveDiagnostics {
+                            engine: SolveEngine::Direct,
+                            iterations: 0,
+                            fell_back: true,
+                        }),
+                        pi,
+                    ))
+                }
+                other => other,
+            };
+        }
+        // Tier 3: matrix-free parallel sweep; a stall falls back to the
+        // full-budget CSR sweep (the direct solver's dense level blocks are
+        // infeasible at this scale).
+        match self.solve_matrix_free_with_initial(0, guess.clone()) {
+            Err(QnError::NoConvergence { .. }) => {
+                let (mut sol, pi) = self.solve_sparse_with_initial(guess)?;
+                sol.diagnostics.fell_back = true;
+                Ok((sol, pi))
+            }
             other => other,
         }
     }
@@ -872,10 +1197,9 @@ impl MapNetwork {
     /// strictly increasing `from` order (the state enumeration follows the
     /// combinatorial flat index, which is what lets
     /// [`MapNetwork::outgoing_csr`] stream straight into CSR arrays).
-    fn for_each_transition(&self, mut visit: impl FnMut(usize, usize, f64)) {
+    fn for_each_transition(&self, idx: &StateIndexer, mut visit: impl FnMut(usize, usize, f64)) {
         let n = self.population;
         let m = self.stations.len();
-        let idx = StateIndexer::new(n, m);
         let phases = idx.phases;
         let think_rate = 1.0 / self.think_time;
         let mut occ = vec![0usize; m];
@@ -955,10 +1279,11 @@ impl MapNetwork {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn outgoing_csr(&self) -> Result<CsrMatrix, QnError> {
+        let idx = self.indexer()?;
         let mut builder = CsrMatrix::builder(self.state_count());
         builder.reserve(self.state_count() * (2 + 3 * self.stations.len()));
         let mut failed = None;
-        self.for_each_transition(|from, to, rate| {
+        self.for_each_transition(&idx, |from, to, rate| {
             if failed.is_none() {
                 if let Err(e) = builder.push(from, to, rate) {
                     failed = Some(e);
@@ -975,8 +1300,9 @@ impl MapNetwork {
     /// CSR fast path is validated against.
     #[cfg(test)]
     fn flat_transitions(&self) -> Vec<(usize, usize, f64)> {
+        let idx = self.indexer().unwrap();
         let mut tr = Vec::with_capacity(self.state_count() * 6);
-        self.for_each_transition(|from, to, rate| tr.push((from, to, rate)));
+        self.for_each_transition(&idx, |from, to, rate| tr.push((from, to, rate)));
         tr
     }
 
@@ -1025,15 +1351,17 @@ impl MapNetwork {
             mean_jobs: jobs,
             response_time,
             states: self.state_count(),
+            // Callers on the iterative paths overwrite this with their real
+            // engine/iteration record (`with_diagnostics`).
+            diagnostics: SolveDiagnostics::direct(),
         }
     }
 
     /// Extract metrics from a flat stationary vector (the sparse/dense CTMC
     /// path).
-    fn metrics_from_flat(&self, pi: &[f64]) -> MapQnSolution {
+    fn metrics_from_flat(&self, idx: &StateIndexer, pi: &[f64]) -> MapQnSolution {
         let n = self.population;
         let m = self.stations.len();
-        let idx = StateIndexer::new(n, m);
         let phases = idx.phases;
         // Re-bucket the flat vector into levels for shared metric
         // extraction.
@@ -1058,7 +1386,7 @@ impl MapNetwork {
 
 /// Advance `occ` to the next occupancy vector in lexicographic order (total
 /// capped at `n`); returns `false` past the last vector `(n, 0, …, 0)`.
-fn next_occupancy(occ: &mut [usize], total: usize, n: usize) -> bool {
+pub(crate) fn next_occupancy(occ: &mut [usize], total: usize, n: usize) -> bool {
     let m = occ.len();
     if total < n {
         occ[m - 1] += 1;
@@ -1707,7 +2035,7 @@ mod tests {
     fn indexer_ranks_are_a_bijection() {
         // occ_rank must enumerate the lex order 0..count for every (n, m).
         for (n, m) in [(5usize, 2usize), (4, 3), (3, 4), (7, 1)] {
-            let idx = StateIndexer::new(n, m);
+            let idx = StateIndexer::try_new(n, m, usize::MAX).unwrap();
             let mut occ = vec![0usize; m];
             let mut expected = 0usize;
             loop {
@@ -1722,10 +2050,8 @@ mod tests {
                     break;
                 }
             }
-            assert_eq!(
-                expected * (1 << m),
-                StateIndexer::new(n, m).phases * expected
-            );
+            assert_eq!(expected * (1 << m), idx.phases * expected);
+            assert_eq!(idx.state_count(), expected * (1 << m));
             let p = Map2::poisson(1.0).unwrap();
             let net = MapNetwork::tandem(n, 0.5, vec![p; m]).unwrap();
             assert_eq!(expected * (1 << m), net.state_count());
@@ -1734,7 +2060,7 @@ mod tests {
 
     #[test]
     fn flat_index_covers_phase_block() {
-        let idx = StateIndexer::new(4, 3);
+        let idx = StateIndexer::try_new(4, 3, usize::MAX).unwrap();
         assert_eq!(idx.flat_index(&[0, 0, 0], 0), 0);
         assert_eq!(idx.flat_index(&[0, 0, 0], 7), 7);
         assert_eq!(idx.flat_index(&[0, 0, 1], 0), 8);
@@ -1801,5 +2127,132 @@ mod tests {
         let pi = left_null_vector(&a, 2).unwrap();
         assert!((pi[0] - 0.6).abs() < 1e-12);
         assert!((pi[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexer_construction_rejects_overflow() {
+        // C(100, 30) ~ 2.9e25 overflows a 64-bit usize while building the
+        // ranking table. The old saturating construction produced corrupt
+        // ranks and relied on a separate limit check to never regress; the
+        // checked construction reports the typed error even when the caller
+        // disabled the limit entirely.
+        assert!(matches!(
+            StateIndexer::try_new(70, 30, usize::MAX),
+            Err(QnError::StateSpaceTooLarge {
+                states: usize::MAX,
+                limit: usize::MAX,
+            })
+        ));
+        // Just inside: a large but representable space constructs fine
+        // (C(73, 3) * 2^3 states).
+        let ok = StateIndexer::try_new(70, 3, usize::MAX).unwrap();
+        assert_eq!(ok.state_count(), 62_196 * 8);
+        // And the network-level entry points surface the same typed error
+        // instead of silently corrupting ranks (no OOM: the error fires
+        // before any state-sized allocation).
+        let p = Map2::poisson(1.0).unwrap();
+        let net = MapNetwork::tandem(70, 0.5, vec![p; 30])
+            .unwrap()
+            .state_limit(usize::MAX);
+        assert!(matches!(
+            net.solve(),
+            Err(QnError::StateSpaceTooLarge { .. })
+        ));
+        assert!(matches!(
+            net.outgoing_csr(),
+            Err(QnError::StateSpaceTooLarge { .. })
+        ));
+        assert!(matches!(
+            net.matrix_free(),
+            Err(QnError::StateSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn unrank_inverts_occ_rank() {
+        for (n, m) in [(5usize, 2usize), (4, 3), (3, 4), (7, 1)] {
+            let idx = StateIndexer::try_new(n, m, usize::MAX).unwrap();
+            let mut occ = vec![0usize; m];
+            loop {
+                let total: usize = occ.iter().sum();
+                let rank = idx.occ_rank(&occ);
+                assert_eq!(idx.unrank(rank), occ, "rank {rank}");
+                if !next_occupancy(&mut occ, total, n) {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_solve_with_initial_returns_stationary_vector() {
+        let front = Map2Fitter::new(0.01, 8.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.008, 12.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::new(10, 0.3, front, db).unwrap();
+        let plain = net.solve().unwrap();
+        let (sol, pi) = net.solve_with_initial(None).unwrap();
+        assert_eq!(sol.throughput, plain.throughput);
+        assert_eq!(pi.len(), net.state_count());
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The flat vector is in combinatorial order: feeding it back through
+        // the sparse metrics path reproduces the direct metrics.
+        let idx = net.indexer().unwrap();
+        let rebuilt = net.metrics_from_flat(&idx, &pi);
+        assert!((rebuilt.throughput - sol.throughput).abs() / sol.throughput < 1e-12);
+        // The same vector warm-starts an iterative engine.
+        let (warm, _) = net.solve_sparse_with_initial(Some(pi)).unwrap();
+        assert!((warm.throughput - sol.throughput).abs() / sol.throughput < 1e-8);
+        // A wrong-length guess is rejected through the direct seam too.
+        assert!(matches!(
+            net.solve_with_initial(Some(vec![1.0])),
+            Err(QnError::InvalidParameter { name: "guess", .. })
+        ));
+    }
+
+    #[test]
+    fn diagnostics_identify_engine_and_fallback() {
+        let front = Map2Fitter::new(0.01, 8.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.008, 12.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::new(10, 0.3, front, db).unwrap();
+        // Direct engine: no iterations, no fallback.
+        let direct = net.solve().unwrap();
+        assert_eq!(direct.diagnostics.engine, SolveEngine::Direct);
+        assert_eq!(direct.diagnostics.iterations, 0);
+        assert!(!direct.diagnostics.fell_back);
+        // Forced sparse tier on a mild model: converges, reports sweeps.
+        let sparse = net.solve_auto(0).unwrap();
+        assert_eq!(sparse.diagnostics.engine, SolveEngine::SparseCsr);
+        assert!(sparse.diagnostics.iterations > 0);
+        assert!(!sparse.diagnostics.fell_back);
+        // Dense LU oracle tags itself.
+        let lu = net
+            .solve_iterative(SteadyStateMethod::DenseLu { limit: 100_000 })
+            .unwrap();
+        assert_eq!(lu.diagnostics.engine, SolveEngine::DenseLu);
+        assert_eq!(lu.diagnostics.iterations, 0);
+    }
+
+    #[test]
+    fn auto_stall_fallback_is_recorded_and_keeps_warm_seam() {
+        // Extremely stiff fitted MAPs: the bounded sparse attempt stalls and
+        // solve_auto falls back to the direct engine. The diagnostics must
+        // say so, and the seam must still hand back a stationary vector.
+        let front = Map2Fitter::new(0.02, 200.0, 0.06).fit().unwrap().map();
+        let db = Map2Fitter::new(0.03, 400.0, 0.1).fit().unwrap().map();
+        let net = MapNetwork::new(10, 0.45, front, db).unwrap();
+        let (sol, pi) = net.solve_auto_with_initial(0, None).unwrap();
+        assert_eq!(pi.len(), net.state_count());
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let direct = net.solve().unwrap();
+        assert!((sol.throughput - direct.throughput).abs() / direct.throughput < 1e-7);
+        if sol.diagnostics.fell_back {
+            // The stall was recorded, and the fallback engine named.
+            assert_eq!(sol.diagnostics.engine, SolveEngine::Direct);
+        } else {
+            // The attempt converged within budget — equally valid, and the
+            // diagnostics say which engine did the work.
+            assert_eq!(sol.diagnostics.engine, SolveEngine::SparseCsr);
+            assert!(sol.diagnostics.iterations > 0);
+        }
     }
 }

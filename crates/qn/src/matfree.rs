@@ -1,0 +1,678 @@
+//! Matrix-free parallel steady-state engine.
+//!
+//! The CSR engine in [`crate::ctmc`] materializes the generator: `O(nnz)`
+//! memory, with `nnz ≈ (2 + 3M) · states` for an `M`-station tandem. Past
+//! ~10⁵ states those arrays dominate the footprint and the single-threaded
+//! sweep dominates the wall clock. This module removes both limits:
+//!
+//! * the iterative solvers consume an **operator** — the [`ApplyQ`] trait —
+//!   instead of a concrete [`CsrMatrix`](crate::csr::CsrMatrix), so the
+//!   generator never has to exist as data;
+//! * [`MatrixFreeGenerator`] implements that trait for the closed tandem MAP
+//!   network by regenerating each state's *incoming* transitions on the fly
+//!   from the per-station `Map2` factors and the combinatorial ranking of
+//!   [`crate::mapqn`] — `O(states · M)` work per sweep and `O(states)`
+//!   memory total (one exit-rate vector plus the two iterate vectors);
+//! * [`steady_state`] runs a damped **Jacobi** sweep (or uniformized power
+//!   iteration) with the row range partitioned across scoped threads. Jacobi
+//!   — unlike Gauss-Seidel — reads only the previous iterate, so row ranges
+//!   are embarrassingly parallel and every row is written by exactly one
+//!   worker.
+//!
+//! # Determinism across worker counts
+//!
+//! Each row's inflow is accumulated in a fixed order (think arrival, then
+//! stations in tandem order) that does not depend on how the rows are
+//! partitioned, and normalization and the residual run as serial passes.
+//! The iterates are therefore **bit-identical** for any worker count,
+//! including the 1-thread degenerate case — asserted by the property tests
+//! and what makes a forced multi-worker CI run meaningful on a single-core
+//! container.
+//!
+//! # Convergence
+//!
+//! The damped Jacobi fixed-point operator shares the structure of the
+//! Gauss-Seidel sweep in [`crate::ctmc`]: the undamped operator has its
+//! Perron eigenvalue at 1 with non-principal modes that can sit *on* the
+//! unit circle for the quasi-birth-death chains MAP networks generate;
+//! damping (`omega < 1`) pulls those modes strictly inside, restoring
+//! convergence at a negligible cost elsewhere. Stalls on extremely stiff
+//! chains are still possible and surface as [`QnError::NoConvergence`] —
+//! [`crate::mapqn::MapNetwork::solve_auto`] handles the fallback.
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use burstcap_map::Map2;
+
+use crate::ctmc::Ctmc;
+use crate::mapqn::{next_occupancy, phase_of, with_phase, StateIndexer};
+use crate::QnError;
+
+/// A CTMC generator presented as an operator: everything the iterative
+/// solvers need, with no commitment to how transitions are stored (or
+/// whether they are stored at all).
+///
+/// Implementations must be [`Sync`]: [`steady_state`] shares the operator
+/// across scoped worker threads.
+pub trait ApplyQ: Sync {
+    /// Number of states of the chain.
+    fn n_states(&self) -> usize;
+
+    /// Per-state total exit rates (the negated generator diagonal).
+    fn exit_rates(&self) -> &[f64];
+
+    /// Compute the inflow `(Q^T x)_i = Σ_j x_j · q_ji` for every row `i` in
+    /// `rows`, writing row `i` to `out[i - rows.start]`. `out.len()` must
+    /// equal `rows.len()`. Implementations must accumulate each row in an
+    /// order independent of `rows` so partitioned applies are bit-identical
+    /// to a full-range apply.
+    fn inflow_into(&self, x: &[f64], rows: Range<usize>, out: &mut [f64]);
+}
+
+/// The CSR-backed chain is itself a valid operator (used by the property
+/// tests to pin the matrix-free implementation against explicit assembly,
+/// and handy when the generator is already materialized anyway).
+impl ApplyQ for Ctmc {
+    fn n_states(&self) -> usize {
+        self.len()
+    }
+
+    fn exit_rates(&self) -> &[f64] {
+        self.out_rates()
+    }
+
+    fn inflow_into(&self, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), rows.len());
+        for (slot, i) in out.iter_mut().zip(rows) {
+            let (cols, vals) = self.incoming_csr().row_slices(i);
+            let mut inflow = 0.0;
+            for (&j, &q) in cols.iter().zip(vals) {
+                inflow += x[j] * q;
+            }
+            *slot = inflow;
+        }
+    }
+}
+
+/// Matrix-free generator of a closed tandem MAP network: applies `Q^T`
+/// directly from the per-station [`Map2`] factors and the combinatorial
+/// state ranking, without assembling CSR arrays.
+///
+/// Built by [`crate::mapqn::MapNetwork::matrix_free`]. Memory: one `f64`
+/// per state (the exit rates) plus the `O(N·M)` ranking table.
+#[derive(Debug, Clone)]
+pub struct MatrixFreeGenerator {
+    population: usize,
+    think_rate: f64,
+    stations: Vec<Map2>,
+    idx: StateIndexer,
+    n_states: usize,
+    out_rate: Vec<f64>,
+}
+
+impl MatrixFreeGenerator {
+    /// Assemble the operator: the only per-state precomputation is the exit
+    /// rate (`(N - total) / Z` plus `-d0[p][p]` of every busy station).
+    pub(crate) fn build(
+        population: usize,
+        think_time: f64,
+        stations: Vec<Map2>,
+        idx: StateIndexer,
+    ) -> Self {
+        let m = stations.len();
+        let phases = idx.phases;
+        let n_states = idx.state_count();
+        let think_rate = 1.0 / think_time;
+        let mut out_rate = vec![0.0; n_states];
+        let mut occ = vec![0usize; m];
+        let mut base = 0usize;
+        loop {
+            let total: usize = occ.iter().sum();
+            let think_exit = (population - total) as f64 * think_rate;
+            for q in 0..phases {
+                let mut exit = think_exit;
+                for (i, st) in stations.iter().enumerate() {
+                    if occ[i] > 0 {
+                        let p = phase_of(q, i, m);
+                        exit += -st.d0()[p][p];
+                    }
+                }
+                out_rate[base + q] = exit;
+            }
+            base += phases;
+            if !next_occupancy(&mut occ, total, population) {
+                break;
+            }
+        }
+        MatrixFreeGenerator {
+            population,
+            think_rate,
+            stations,
+            idx,
+            n_states,
+            out_rate,
+        }
+    }
+}
+
+impl ApplyQ for MatrixFreeGenerator {
+    fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    fn exit_rates(&self) -> &[f64] {
+        &self.out_rate
+    }
+
+    /// Gather form of the generator apply: for each destination state the
+    /// incoming transitions are (a) a think arrival from `occ - e_0`, (b) a
+    /// hidden phase flip at each busy station (same occupancy), (c) a
+    /// completion hand-off from `occ + e_i - e_{i+1}` for every interior
+    /// station with `occ[i+1] > 0`, and (d) a last-station completion from
+    /// `occ + e_last` when the network is not full. Each row is written by
+    /// exactly one caller, so partitioned applies never race.
+    fn inflow_into(&self, x: &[f64], rows: Range<usize>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), rows.len());
+        if rows.is_empty() {
+            return;
+        }
+        let m = self.stations.len();
+        let phases = self.idx.phases;
+        let n = self.population;
+        // Seed the occupancy walk at the first phase block the range
+        // touches; `unrank` is O(N·M) and runs once per call.
+        let mut occ = self.idx.unrank(rows.start / phases);
+        let mut block = (rows.start / phases) * phases;
+        let mut scratch = vec![0usize; m];
+        let mut comp_src = vec![usize::MAX; m];
+        while block < rows.end {
+            let total: usize = occ.iter().sum();
+            // Phase-independent source bases, computed once per occupancy.
+            let think_src = if occ[0] > 0 {
+                scratch.copy_from_slice(&occ);
+                scratch[0] -= 1;
+                // The source has total - 1 jobs queued, so n - total + 1
+                // thinking customers feed the arrival.
+                let rate = (n - total + 1) as f64 * self.think_rate;
+                Some((self.idx.occ_rank(&scratch) * phases, rate))
+            } else {
+                None
+            };
+            for i in 0..m - 1 {
+                comp_src[i] = if occ[i + 1] > 0 {
+                    scratch.copy_from_slice(&occ);
+                    scratch[i] += 1;
+                    scratch[i + 1] -= 1;
+                    self.idx.occ_rank(&scratch) * phases
+                } else {
+                    usize::MAX
+                };
+            }
+            let last_src = if total < n {
+                scratch.copy_from_slice(&occ);
+                scratch[m - 1] += 1;
+                self.idx.occ_rank(&scratch) * phases
+            } else {
+                usize::MAX
+            };
+            // Clip the phase block to the requested row range (a partition
+            // boundary may fall inside a block).
+            let q_lo = rows.start.saturating_sub(block).min(phases);
+            let q_hi = (rows.end - block).min(phases);
+            for q in q_lo..q_hi {
+                let mut inflow = 0.0;
+                if let Some((base, rate)) = think_src {
+                    inflow += rate * x[base + q];
+                }
+                for (i, st) in self.stations.iter().enumerate() {
+                    let p = phase_of(q, i, m);
+                    if occ[i] > 0 {
+                        let hidden = st.d0()[1 - p][p];
+                        if hidden > 0.0 {
+                            inflow += hidden * x[block + with_phase(q, i, 1 - p, m)];
+                        }
+                    }
+                    let src_base = if i + 1 < m { comp_src[i] } else { last_src };
+                    if src_base != usize::MAX {
+                        let d1 = st.d1();
+                        for p_src in 0..2 {
+                            let rate = d1[p_src][p];
+                            if rate > 0.0 {
+                                inflow += rate * x[src_base + with_phase(q, i, p_src, m)];
+                            }
+                        }
+                    }
+                }
+                out[block + q - rows.start] = inflow;
+            }
+            block += phases;
+            if !next_occupancy(&mut occ, total, n) {
+                break;
+            }
+        }
+    }
+}
+
+/// Iterative method selection for the matrix-free engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MatFreeMethod {
+    /// Damped Jacobi sweeps on the global balance equations — the parallel
+    /// analogue of the CSR engine's Gauss-Seidel (Jacobi reads only the
+    /// previous iterate, so rows partition freely across threads).
+    /// `omega < 1` is required for convergence on the stiff quasi-birth-
+    /// death chains of this workspace (see the module docs).
+    Jacobi {
+        /// Damping factor in `(0, 2)`; prefer `< 1`.
+        omega: f64,
+        /// Convergence tolerance on the scale-free L1 balance residual.
+        tol: f64,
+        /// Sweep budget.
+        max_iter: usize,
+    },
+    /// Power iteration on the uniformized chain `P = I + Q / lambda`
+    /// (`lambda` slightly above the largest exit rate).
+    Power {
+        /// Convergence tolerance on the scale-free L1 balance residual.
+        tol: f64,
+        /// Iteration budget.
+        max_iter: usize,
+    },
+}
+
+impl Default for MatFreeMethod {
+    fn default() -> Self {
+        // Same damping and residual target as the production CSR
+        // Gauss-Seidel engine (solve_sparse_with_initial): 1e-12 on the
+        // scale-free balance residual keeps throughput within 1e-8 of the
+        // direct solver. Jacobi needs roughly 2x the sweeps of Gauss-Seidel,
+        // but each sweep parallelizes.
+        MatFreeMethod::Jacobi {
+            omega: 0.95,
+            tol: 1e-12,
+            max_iter: 400_000,
+        }
+    }
+}
+
+/// Outcome of a matrix-free solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatFreeRun {
+    /// The stationary distribution.
+    pub pi: Vec<f64>,
+    /// Sweeps performed.
+    pub iterations: usize,
+}
+
+/// Worker count used when the caller passes `workers = 0`: the
+/// `BURSTCAP_SOLVER_WORKERS` environment variable if set to a positive
+/// integer, else the machine's available parallelism (1 if unknown).
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("BURSTCAP_SOLVER_WORKERS") {
+        if let Ok(k) = v.trim().parse::<usize>() {
+            if k >= 1 {
+                return k;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Contiguous near-equal row ranges for `workers` threads.
+fn partition(n: usize, workers: usize) -> Vec<Range<usize>> {
+    let w = workers.clamp(1, n.max(1));
+    let base = n / w;
+    let extra = n % w;
+    let mut ranges = Vec::with_capacity(w);
+    let mut start = 0usize;
+    for k in 0..w {
+        let len = base + usize::from(k < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// One parallel operator apply: `out = Q^T x`, row ranges fanned out across
+/// scoped threads (serial when only one range). Each worker writes a
+/// disjoint `out` chunk, so no synchronization beyond the join is needed.
+fn apply(op: &impl ApplyQ, x: &[f64], ranges: &[Range<usize>], out: &mut [f64]) {
+    if ranges.len() == 1 {
+        op.inflow_into(x, ranges[0].clone(), out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = &mut out[..];
+        for r in ranges {
+            let slice = std::mem::take(&mut rest);
+            let (chunk, tail) = slice.split_at_mut(r.len());
+            rest = tail;
+            let r = r.clone();
+            scope.spawn(move || op.inflow_into(x, r, chunk));
+        }
+    });
+}
+
+/// Solve for the stationary distribution of the chain behind `op` with the
+/// given method and worker count (`0` = [`default_workers`]), optionally
+/// warm-started from `guess` (floored and normalized like the CSR engine).
+///
+/// The iterates are bit-identical across worker counts — see the module
+/// docs.
+///
+/// # Errors
+/// Rejects wrong-length guesses and out-of-range damping factors; returns
+/// [`QnError::NoConvergence`] when the sweep budget is exhausted.
+///
+/// # Example
+/// ```
+/// use burstcap_qn::ctmc::Ctmc;
+/// use burstcap_qn::matfree::{steady_state, MatFreeMethod};
+///
+/// // M/M/1/2 with lambda = 1, mu = 2: pi = (4, 2, 1) / 7. The CSR-backed
+/// // chain doubles as an ApplyQ operator.
+/// let chain = Ctmc::from_transitions(
+///     3,
+///     [(0, 1, 1.0), (1, 2, 1.0), (1, 0, 2.0), (2, 1, 2.0)],
+/// )?;
+/// let run = steady_state(&chain, MatFreeMethod::default(), 1, None)?;
+/// assert!((run.pi[0] - 4.0 / 7.0).abs() < 1e-8);
+/// assert!(run.iterations > 0);
+/// # Ok::<(), burstcap_qn::QnError>(())
+/// ```
+pub fn steady_state(
+    op: &impl ApplyQ,
+    method: MatFreeMethod,
+    workers: usize,
+    guess: Option<Vec<f64>>,
+) -> Result<MatFreeRun, QnError> {
+    let n = op.n_states();
+    let mut pi = match guess {
+        Some(g) => {
+            if g.len() != n {
+                return Err(QnError::InvalidParameter {
+                    name: "guess",
+                    reason: format!("expected {} entries, got {}", n, g.len()),
+                });
+            }
+            g
+        }
+        None => vec![1.0 / n as f64; n],
+    };
+    if n == 1 {
+        return Ok(MatFreeRun {
+            pi: vec![1.0],
+            iterations: 0,
+        });
+    }
+    let floor = 1e-12 / n as f64;
+    for x in pi.iter_mut() {
+        if !x.is_finite() || *x < floor {
+            *x = floor;
+        }
+    }
+    normalize(&mut pi);
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    };
+    let ranges = partition(n, workers);
+    let out_rate = op.exit_rates();
+    // Scale-free residual target, matching the CSR engine's convention.
+    let scale: f64 = out_rate.iter().sum::<f64>() / n as f64;
+    match method {
+        MatFreeMethod::Jacobi {
+            omega,
+            tol,
+            max_iter,
+        } => {
+            if !(0.0 < omega && omega < 2.0) {
+                return Err(QnError::InvalidParameter {
+                    name: "omega",
+                    reason: format!("damping factor must lie in (0, 2), got {omega}"),
+                });
+            }
+            let mut next = vec![0.0; n];
+            let mut last_residual = f64::INFINITY;
+            for iter in 0..max_iter {
+                apply(op, &pi, &ranges, &mut next);
+                // Serial pass: the balance residual of the current iterate
+                // falls out of the inflows for free, then damp + normalize.
+                let mut residual = 0.0;
+                let mut sum = 0.0;
+                for i in 0..n {
+                    let inflow = next[i];
+                    residual += (inflow - pi[i] * out_rate[i]).abs();
+                    let v = (1.0 - omega) * pi[i] + omega * inflow / out_rate[i];
+                    next[i] = v;
+                    sum += v;
+                }
+                for v in next.iter_mut() {
+                    *v /= sum;
+                }
+                std::mem::swap(&mut pi, &mut next);
+                last_residual = residual / scale;
+                if last_residual < tol {
+                    return Ok(MatFreeRun {
+                        pi,
+                        iterations: iter + 1,
+                    });
+                }
+            }
+            Err(QnError::NoConvergence {
+                solver: "matfree-jacobi",
+                iterations: max_iter,
+                residual: last_residual,
+            })
+        }
+        MatFreeMethod::Power { tol, max_iter } => {
+            let lambda = out_rate.iter().cloned().fold(0.0, f64::max) * 1.02;
+            let mut next = vec![0.0; n];
+            let mut last_residual = f64::INFINITY;
+            for iter in 0..max_iter {
+                apply(op, &pi, &ranges, &mut next);
+                let mut residual = 0.0;
+                let mut sum = 0.0;
+                for i in 0..n {
+                    let flux = next[i] - pi[i] * out_rate[i];
+                    residual += flux.abs();
+                    let v = pi[i] + flux / lambda;
+                    next[i] = v;
+                    sum += v;
+                }
+                for v in next.iter_mut() {
+                    *v /= sum;
+                }
+                std::mem::swap(&mut pi, &mut next);
+                last_residual = residual / scale;
+                if last_residual < tol {
+                    return Ok(MatFreeRun {
+                        pi,
+                        iterations: iter + 1,
+                    });
+                }
+            }
+            Err(QnError::NoConvergence {
+                solver: "matfree-power",
+                iterations: max_iter,
+                residual: last_residual,
+            })
+        }
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burstcap_map::fit::Map2Fitter;
+
+    use crate::mapqn::MapNetwork;
+
+    fn two_state_chain() -> Ctmc {
+        Ctmc::from_transitions(2, [(0, 1, 2.0), (1, 0, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn partition_covers_rows_exactly() {
+        for (n, w) in [(10usize, 3usize), (7, 7), (5, 16), (1, 1), (100, 4)] {
+            let ranges = partition(n, w);
+            assert_eq!(ranges.len(), w.min(n));
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+                assert!(!pair[1].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ctmc_operator_solves_birth_death() {
+        // pi = (0.6, 0.4) for rates 2 / 3; both methods, several worker
+        // counts (partitioning must not change the answer at all).
+        let chain = two_state_chain();
+        let mut reference: Option<Vec<f64>> = None;
+        for workers in [1usize, 2, 3] {
+            let run = steady_state(&chain, MatFreeMethod::default(), workers, None).unwrap();
+            assert!((run.pi[0] - 0.6).abs() < 1e-9, "pi = {:?}", run.pi);
+            assert!(run.iterations > 0);
+            match &reference {
+                Some(r) => assert_eq!(r, &run.pi, "workers = {workers}"),
+                None => reference = Some(run.pi),
+            }
+        }
+        let power = steady_state(
+            &chain,
+            MatFreeMethod::Power {
+                tol: 1e-10,
+                max_iter: 100_000,
+            },
+            1,
+            None,
+        )
+        .unwrap();
+        assert!((power.pi[1] - 0.4).abs() < 1e-8);
+    }
+
+    #[test]
+    fn guess_and_omega_are_validated() {
+        let chain = two_state_chain();
+        assert!(matches!(
+            steady_state(&chain, MatFreeMethod::default(), 1, Some(vec![1.0])),
+            Err(QnError::InvalidParameter { name: "guess", .. })
+        ));
+        let bad = MatFreeMethod::Jacobi {
+            omega: 2.5,
+            tol: 1e-10,
+            max_iter: 10,
+        };
+        assert!(matches!(
+            steady_state(&chain, bad, 1, None),
+            Err(QnError::InvalidParameter { name: "omega", .. })
+        ));
+    }
+
+    #[test]
+    fn exhausted_budget_is_no_convergence() {
+        let chain = two_state_chain();
+        let starved = MatFreeMethod::Jacobi {
+            omega: 0.95,
+            tol: 1e-14,
+            max_iter: 1,
+        };
+        assert!(matches!(
+            steady_state(&chain, starved, 1, None),
+            Err(QnError::NoConvergence {
+                solver: "matfree-jacobi",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn matrix_free_generator_matches_csr_chain() {
+        // The gather-form operator against the assembled chain: exit rates
+        // and a full-range apply must agree to roundoff on a bursty
+        // three-station tandem.
+        let web = Map2Fitter::new(0.004, 6.0, 0.012).fit().unwrap().map();
+        let app = Map2Fitter::new(0.01, 20.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.008, 40.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::tandem(5, 0.3, vec![web, app, db]).unwrap();
+        let op = net.matrix_free().unwrap();
+        let chain = Ctmc::from_outgoing_csr(net.outgoing_csr().unwrap()).unwrap();
+        let n = net.state_count();
+        assert_eq!(op.n_states(), n);
+        for (a, b) in op.exit_rates().iter().zip(chain.exit_rates()) {
+            assert!((a - b).abs() <= 1e-12 * b.abs());
+        }
+        // A deterministic, well-spread probe vector.
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 37) % 101) as f64).collect();
+        let mut from_op = vec![0.0; n];
+        op.inflow_into(&x, 0..n, &mut from_op);
+        let mut from_chain = vec![0.0; n];
+        chain.inflow_into(&x, 0..n, &mut from_chain);
+        for (i, (a, b)) in from_op.iter().zip(&from_chain).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                "row {i}: {a} vs {b}"
+            );
+        }
+        // Range-partitioned applies agree bit-for-bit with the full apply,
+        // including ranges that split a phase block.
+        let mut pieces = vec![0.0; n];
+        let cuts = [0, 3, n / 3 + 1, n / 2, n - 5, n];
+        for pair in cuts.windows(2) {
+            op.inflow_into(&x, pair[0]..pair[1], &mut pieces[pair[0]..pair[1]]);
+        }
+        assert_eq!(pieces, from_op);
+    }
+
+    #[test]
+    fn matrix_free_solve_matches_direct() {
+        let front = Map2Fitter::new(0.01, 8.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.008, 12.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::new(12, 0.3, front, db).unwrap();
+        let direct = net.solve().unwrap();
+        for workers in [1usize, 2, 4] {
+            let sol = net.solve_matrix_free(workers).unwrap();
+            assert!(
+                (sol.throughput - direct.throughput).abs() / direct.throughput < 1e-8,
+                "workers {workers}: {} vs {}",
+                sol.throughput,
+                direct.throughput
+            );
+            assert_eq!(
+                sol.diagnostics.engine,
+                crate::mapqn::SolveEngine::MatrixFree
+            );
+            assert!(sol.diagnostics.iterations > 0);
+            assert!(!sol.diagnostics.fell_back);
+        }
+    }
+
+    #[test]
+    fn matrix_free_warm_start_converges_faster() {
+        let front = Map2Fitter::new(0.01, 8.0, 0.03).fit().unwrap().map();
+        let db = Map2Fitter::new(0.008, 12.0, 0.02).fit().unwrap().map();
+        let net = MapNetwork::new(10, 0.3, front, db).unwrap();
+        let (cold, pi) = net.solve_matrix_free_with_initial(1, None).unwrap();
+        assert_eq!(pi.len(), net.state_count());
+        let (warm, pi2) = net.solve_matrix_free_with_initial(1, Some(pi)).unwrap();
+        assert!(warm.diagnostics.iterations <= cold.diagnostics.iterations);
+        assert!((pi2.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((warm.throughput - cold.throughput).abs() / cold.throughput < 1e-8);
+    }
+}

@@ -6,6 +6,7 @@ use burstcap_map::fit::Map2Fitter;
 use burstcap_map::Map2;
 use burstcap_qn::ctmc::{Ctmc, SteadyStateMethod};
 use burstcap_qn::mapqn::MapNetwork;
+use burstcap_qn::matfree::{steady_state, ApplyQ, MatFreeMethod};
 use burstcap_qn::mva::ClosedMva;
 
 proptest! {
@@ -275,5 +276,87 @@ proptest! {
         // Population conservation across stations and the think stage.
         let total: f64 = exact.mean_jobs.iter().sum::<f64>() + exact.throughput * z;
         prop_assert!((total - pop as f64).abs() < 1e-6);
+    }
+
+    /// The matrix-free operator is pinned against explicit CSR assembly:
+    /// for random fitted `Map2` stations (1..=3 of them), the gather-form
+    /// `ApplyQ` must reproduce the assembled chain's SpMV to 1e-12 relative
+    /// on a random probe vector, and its exit rates must match exactly.
+    #[test]
+    fn matrix_free_apply_matches_csr_assembly(
+        specs in prop::collection::vec(
+            (4e-3f64..0.03, 1.5f64..80.0, 2.0f64..4.0),
+            1..4,
+        ),
+        z in 0.1f64..1.0,
+        pop in 1usize..8,
+        probe_seed in 1usize..10_000,
+    ) {
+        let stations: Vec<Map2> = specs
+            .iter()
+            .map(|&(mean, i, p95_ratio)| {
+                Map2Fitter::new(mean, i, mean * p95_ratio).fit().unwrap().map()
+            })
+            .collect();
+        let net = MapNetwork::tandem(pop, z, stations).unwrap();
+        let op = net.matrix_free().unwrap();
+        let chain = Ctmc::from_outgoing_csr(net.outgoing_csr().unwrap()).unwrap();
+        let n = net.state_count();
+        prop_assert_eq!(op.n_states(), n);
+        for (i, (a, b)) in op.exit_rates().iter().zip(chain.exit_rates()).enumerate() {
+            prop_assert!((a - b).abs() <= 1e-12 * b.abs(), "exit rate {i}: {a} vs {b}");
+        }
+        // A positive pseudo-random probe vector (deterministic per seed).
+        let x: Vec<f64> = (0..n)
+            .map(|i| 0.5 + ((i * probe_seed + 13) % 997) as f64 / 997.0)
+            .collect();
+        let mut from_op = vec![0.0; n];
+        op.inflow_into(&x, 0..n, &mut from_op);
+        let from_csr = chain.incoming_csr().mul_vec(&x);
+        for i in 0..n {
+            prop_assert!(
+                (from_op[i] - from_csr[i]).abs() <= 1e-12 * from_csr[i].abs().max(1.0),
+                "row {i}: matrix-free {} vs CSR {}",
+                from_op[i],
+                from_csr[i]
+            );
+        }
+    }
+
+    /// Parallel and serial sweeps agree across worker counts — including
+    /// the 1-thread degenerate case — on random bursty tandems. The design
+    /// guarantees bit-identical iterates (fixed per-row accumulation order,
+    /// serial normalization), so the assertion is exact equality, far
+    /// inside the 1e-10 the satellite task asks for; the solution itself is
+    /// checked against the stiffness-proof direct solver.
+    #[test]
+    fn matrix_free_sweeps_agree_across_worker_counts(
+        mean_f in 5e-3f64..0.03,
+        mean_d in 5e-3f64..0.03,
+        i_f in 1.5f64..40.0,
+        i_d in 1.5f64..40.0,
+        z in 0.1f64..0.8,
+        pop in 2usize..9,
+    ) {
+        let front = Map2Fitter::new(mean_f, i_f, mean_f * 3.0).fit().unwrap().map();
+        let db = Map2Fitter::new(mean_d, i_d, mean_d * 3.0).fit().unwrap().map();
+        let net = MapNetwork::new(pop, z, front, db).unwrap();
+        let op = net.matrix_free().unwrap();
+        let serial = steady_state(&op, MatFreeMethod::default(), 1, None).unwrap();
+        for workers in [2usize, 3, 5] {
+            let parallel = steady_state(&op, MatFreeMethod::default(), workers, None).unwrap();
+            prop_assert!(
+                parallel.iterations == serial.iterations && parallel.pi == serial.pi,
+                "workers {workers}: parallel sweep diverged from serial"
+            );
+        }
+        let direct = net.solve().unwrap();
+        let mf = net.solve_matrix_free(3).unwrap();
+        prop_assert!(
+            (mf.throughput - direct.throughput).abs() / direct.throughput < 1e-8,
+            "matrix-free X {} vs direct {}",
+            mf.throughput,
+            direct.throughput
+        );
     }
 }
