@@ -27,7 +27,7 @@
 //! artifact; the JSON exists so the repo's perf trajectory is visible from
 //! commit to commit.
 
-use std::time::Instant;
+use burstcap_bench::timing::Stopwatch;
 
 use burstcap_bench::json::{JsonObject, JsonValue};
 use burstcap_map::fit::Map2Fitter;
@@ -121,9 +121,9 @@ fn median_ms(reps: usize, mut solve: impl FnMut() -> Result<MapQnSolution, QnErr
     let mut times: Vec<f64> = Vec::with_capacity(reps);
     let mut throughput = 0.0;
     for _ in 0..reps {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let sol = solve().expect("benchmark instance must solve");
-        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        times.push(t0.elapsed_ms());
         throughput = sol.throughput;
     }
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -262,16 +262,16 @@ fn main() {
         stations.push(db);
         let net = MapNetwork::tandem(pop, think, stations).expect("valid network");
         let states = net.state_count();
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let sol = net.solve_matrix_free(0).expect("matrix-free solve");
-        let matfree_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let matfree_ms = t0.elapsed_ms();
         let matfree_peak_bytes = states * 8 * 3;
         let (csr_ms, csr_nnz, rel_gap) = if states <= CSR_CROSSCHECK_MAX_STATES {
             let nnz = net.outgoing_csr().expect("assembles").nnz();
             nnz_per_state = nnz as f64 / states as f64;
-            let t1 = Instant::now();
+            let t1 = Stopwatch::start();
             let csr = net.solve_sparse().expect("csr solve");
-            let csr_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let csr_ms = t1.elapsed_ms();
             let gap = (sol.throughput - csr.throughput).abs() / csr.throughput;
             assert!(
                 gap < 1e-8,

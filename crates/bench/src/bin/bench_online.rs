@@ -20,7 +20,7 @@
 //! [output.json]` (default `BENCH_online.json`). `BURSTCAP_BENCH_FAST=1`
 //! shortens the simulated feed and drops to one timing repetition.
 
-use std::time::Instant;
+use burstcap_bench::timing::Stopwatch;
 
 use burstcap_bench::json::{JsonObject, JsonValue};
 use burstcap_bench::BASE_SEED;
@@ -85,9 +85,9 @@ fn main() {
     burstcap_bench::header(&format!(
         "bench_online: {total_windows} windows ({shift_window} stable, then heavy contention)"
     ));
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let reports = planner.drain(&mut feed).expect("stream ingests end to end");
-    let ingest_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let ingest_ms = t0.elapsed_ms();
     let windows_per_sec = total_windows as f64 / (ingest_ms / 1e3);
 
     let stats = planner.stats();
@@ -159,16 +159,16 @@ fn main() {
     let mut cold_x = 0.0;
     let mut warm_x = 0.0;
     for _ in 0..reps {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let sol = drifted.solve_sparse().expect("cold solve");
-        cold_times.push(t0.elapsed().as_secs_f64() * 1e3);
+        cold_times.push(t0.elapsed_ms());
         cold_x = sol.throughput;
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let (sol, _) = drifted
             .solve_sparse_with_initial(Some(pi_base.clone()))
             .expect("warm solve");
-        warm_times.push(t0.elapsed().as_secs_f64() * 1e3);
+        warm_times.push(t0.elapsed_ms());
         warm_x = sol.throughput;
     }
     let median = |times: &mut Vec<f64>| {

@@ -20,7 +20,7 @@
 //! and `parallelism` fields are wall-clock snapshots of one machine and
 //! are excluded from that diff.
 
-use std::time::Instant;
+use burstcap_bench::timing::Stopwatch;
 
 use burstcap::experiment::Replications;
 use burstcap_bench::json::{JsonObject, JsonValue};
@@ -126,20 +126,20 @@ fn main() {
         .expect("valid scenario configuration");
 
         // Serial fold: the tpcw batch entry point.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let serial = testbed
             .replications(replications)
             .expect("serial replications run");
-        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let serial_ms = t0.elapsed_ms();
 
         // Parallel fan over the identical replication list.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let parallel = Replications::new(replications)
             .expect("valid plan")
             .workers(workers)
             .run(|rep| testbed.replication(rep.index))
             .expect("parallel replications run");
-        let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let parallel_ms = t0.elapsed_ms();
 
         // Hard correctness gate: the parallel aggregate must be
         // bit-identical to the serial one.

@@ -71,6 +71,7 @@ pub fn header(title: &str) {
 
 pub mod figures;
 pub mod json;
+pub mod timing;
 
 pub mod experiments {
     //! Shared experiment drivers for the Figure 10/11/12 reproduction

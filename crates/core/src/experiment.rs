@@ -209,6 +209,7 @@ impl Replications {
                 .collect();
             handles
                 .into_iter()
+                // burstcap-lint: allow(panic-in-lib) — a panicked worker is re-raised, not masked; there is no partial result to recover
                 .map(|h| h.join().expect("replication worker must not panic"))
                 .collect()
         });
@@ -220,6 +221,7 @@ impl Replications {
         collect(
             slots
                 .into_iter()
+                // burstcap-lint: allow(panic-in-lib) — the dispatch loop writes every slot exactly once before collection
                 .map(|s| s.expect("every replication slot is filled"))
                 .collect(),
         )
@@ -328,6 +330,7 @@ impl Experiment {
             outputs.extend(self.plan.run_range(range, &scenario)?);
             let values: Vec<f64> = outputs.iter().map(&metric).collect();
             let ci = mean_ci(&values, self.confidence)
+                // burstcap-lint: allow(panic-in-lib) — mean_ci only errors on fewer than two samples; the schedule starts at two replications
                 .expect("two or more replications always have an interval");
             if rule.satisfied_by(&ci) || target >= max_replications {
                 return Ok(ExperimentResult {

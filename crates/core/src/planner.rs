@@ -244,6 +244,7 @@ impl CapacityPlanner {
     /// The last tier's measured descriptors (the database tier of the
     /// two-tier model).
     pub fn db_characterization(&self) -> &ServiceCharacterization {
+        // burstcap-lint: allow(panic-in-lib) — the constructor rejects empty tier lists
         self.tiers.last().expect("validated non-empty")
     }
 
@@ -254,6 +255,7 @@ impl CapacityPlanner {
 
     /// The last tier's fitted MAP(2) with diagnostics.
     pub fn db_fit(&self) -> &FittedMap2 {
+        // burstcap-lint: allow(panic-in-lib) — the constructor rejects empty tier lists
         self.fits.last().expect("validated non-empty")
     }
 
@@ -423,6 +425,7 @@ impl MvaBaseline {
 
     /// The last tier's demand.
     pub fn db_demand(&self) -> f64 {
+        // burstcap-lint: allow(panic-in-lib) — the constructor rejects empty tier lists
         *self.demands.last().expect("validated non-empty")
     }
 
@@ -437,6 +440,7 @@ impl MvaBaseline {
             population,
             throughput: s.throughput,
             utilization_front: s.utilization[0],
+            // burstcap-lint: allow(panic-in-lib) — solutions come from networks validated to hold at least one station
             utilization_db: *s.utilization.last().expect("at least one station"),
             utilization: s.utilization,
             response_time: s.response_time,

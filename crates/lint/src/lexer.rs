@@ -1,0 +1,490 @@
+//! A minimal Rust lexer: just enough structure for invariant linting.
+//!
+//! The token stream distinguishes everything the rules need to avoid false
+//! positives from prose and literals — line and block comments (nested),
+//! string / raw-string / byte-string / char literals, lifetimes vs chars,
+//! raw identifiers, and numeric literals with float detection — and tags
+//! every token with a 1-based `line:col` span. It does **not** attempt full
+//! fidelity (no token trees, no keyword classes): rules match on short
+//! token patterns and on bracket structure reconstructed downstream.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// Lifetime such as `'a` (without the quote).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary forms).
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e-9`, `2f64`, ...).
+    Float,
+    /// String, raw-string, or byte-string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Line or block comment (doc comments included), full text retained.
+    Comment,
+    /// Punctuation / operator; multi-char operators are fused (`==`, `::`).
+    Punct,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// The token text (comments keep their full text; strings keep quotes).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl Token {
+    /// True for identifier tokens with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for punctuation tokens with exactly this text.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators fused into a single `Punct` token. Longest
+/// match wins; anything absent here lexes as a single character.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated literals simply
+/// run to end-of-file (the compiler rejects those files anyway; the linter
+/// only ever sees code that builds).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                while let Some(n) = cur.peek(0) {
+                    if n == '\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                push(&mut out, TokKind::Comment, &cur, start, line, col);
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(&mut out, TokKind::Comment, &cur, start, line, col);
+            }
+            '"' => {
+                lex_quoted_string(&mut cur);
+                push(&mut out, TokKind::Str, &cur, start, line, col);
+            }
+            'r' | 'b' if starts_string_prefix(&cur) => {
+                let kind = lex_prefixed_literal(&mut cur);
+                push(&mut out, kind, &cur, start, line, col);
+            }
+            '\'' => {
+                let kind = lex_quote(&mut cur);
+                push(&mut out, kind, &cur, start, line, col);
+            }
+            _ if is_ident_start(c) => {
+                // Raw identifiers (`r#fn`) reach here only when not a raw
+                // string; `starts_string_prefix` already disambiguated.
+                if c == 'r' && cur.peek(1) == Some('#') {
+                    cur.bump();
+                    cur.bump();
+                }
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                push(&mut out, TokKind::Ident, &cur, start, line, col);
+            }
+            _ if c.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                push(&mut out, kind, &cur, start, line, col);
+            }
+            _ => {
+                let mut matched = false;
+                for op in MULTI_PUNCT {
+                    if op
+                        .chars()
+                        .enumerate()
+                        .all(|(k, oc)| cur.peek(k) == Some(oc))
+                    {
+                        for _ in 0..op.chars().count() {
+                            cur.bump();
+                        }
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    cur.bump();
+                }
+                push(&mut out, TokKind::Punct, &cur, start, line, col);
+            }
+        }
+    }
+    out
+}
+
+fn push(out: &mut Vec<Token>, kind: TokKind, cur: &Cursor, start: usize, line: u32, col: u32) {
+    out.push(Token {
+        kind,
+        text: cur.text_from(start),
+        line,
+        col,
+    });
+}
+
+/// Does the cursor sit on a string-literal prefix (`r"`, `r#"`, `b"`, `b'`,
+/// `br"`, `br#"`) rather than an ordinary identifier starting with r/b?
+fn starts_string_prefix(cur: &Cursor) -> bool {
+    let c0 = cur.peek(0);
+    let mut k = 1;
+    if c0 == Some('b') && cur.peek(1) == Some('r') {
+        k = 2;
+    }
+    if c0 == Some('b') && cur.peek(1) == Some('\'') {
+        return true;
+    }
+    // Skip hashes of a raw string; `r#ident` (raw identifier) has an
+    // ident-start char after the hash instead of a quote.
+    let mut j = k;
+    while cur.peek(j) == Some('#') {
+        j += 1;
+    }
+    let raw = k != 1 || c0 == Some('r');
+    match cur.peek(j) {
+        Some('"') if raw || j == k => true,
+        _ => c0 == Some('b') && cur.peek(1) == Some('"'),
+    }
+}
+
+/// Lex a literal starting with `r`/`b` prefixes; cursor on the prefix.
+fn lex_prefixed_literal(cur: &mut Cursor) -> TokKind {
+    if cur.peek(0) == Some('b') && cur.peek(1) == Some('\'') {
+        cur.bump(); // b
+        lex_quote(cur);
+        return TokKind::Char;
+    }
+    if cur.peek(0) == Some('b') {
+        cur.bump();
+    }
+    if cur.peek(0) == Some('r') {
+        cur.bump();
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some('#') {
+            cur.bump();
+            hashes += 1;
+        }
+        cur.bump(); // opening quote
+        loop {
+            match cur.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek(0) == Some('#') {
+                        cur.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        TokKind::Str
+    } else {
+        lex_quoted_string(cur);
+        TokKind::Str
+    }
+}
+
+/// Lex a `"..."` string with escapes; cursor on the opening quote.
+fn lex_quoted_string(cur: &mut Cursor) {
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Lex a `'`-led token: either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // '
+    match (cur.peek(0), cur.peek(1)) {
+        (Some('\\'), _) => {
+            cur.bump();
+            cur.bump(); // escaped char (first char of the escape is enough)
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            TokKind::Char
+        }
+        (Some(c), Some('\'')) if c != '\'' => {
+            cur.bump();
+            cur.bump();
+            TokKind::Char
+        }
+        (Some(c), _) if is_ident_start(c) => {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokKind::Lifetime
+        }
+        _ => TokKind::Punct, // stray quote; compiler territory
+    }
+}
+
+/// Lex a numeric literal; cursor on the first digit.
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            cur.bump();
+        }
+        return TokKind::Int;
+    }
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        cur.bump();
+    }
+    if cur.peek(0) == Some('.') {
+        // `1.0` and trailing `1.` are floats; `1..2` is a range and
+        // `1.max(..)` a method call.
+        let after = cur.peek(1);
+        let part_of_float = match after {
+            Some(c) if c.is_ascii_digit() => true,
+            Some('.') => false,
+            Some(c) if is_ident_start(c) => false,
+            _ => true,
+        };
+        if part_of_float {
+            float = true;
+            cur.bump();
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                cur.bump();
+            }
+        }
+    }
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (s1, s2) = (cur.peek(1), cur.peek(2));
+        let exp = match s1 {
+            Some(c) if c.is_ascii_digit() => true,
+            Some('+' | '-') => s2.is_some_and(|c| c.is_ascii_digit()),
+            _ => false,
+        };
+        if exp {
+            float = true;
+            cur.bump();
+            if matches!(cur.peek(0), Some('+' | '-')) {
+                cur.bump();
+            }
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, ...): an `f` suffix forces float.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        if cur.peek(0) == Some('f') {
+            float = true;
+        }
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+/// Is this float-literal text exactly zero (`0.0`, `0.`, `0e0`, `0_f64`)?
+#[must_use]
+pub fn float_is_zero(text: &str) -> bool {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let cleaned = cleaned
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('.');
+    cleaned.parse::<f64>().map(|v| v == 0.0).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds("// Instant::now\nlet s = \"SystemTime\"; /* HashMap */");
+        assert_eq!(toks[0], (TokKind::Comment, "// Instant::now".into()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "\"SystemTime\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Comment && t == "/* HashMap */"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "now"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let a = r#"un"closed"# ; let r#fn = 1;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.starts_with("r#\"")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn floats_ints_and_method_calls_on_ints() {
+        let toks =
+            kinds("let a = 1.0; let b = 1..2; let c = 1.max(0); let d = 1e-9; let e = 2f64;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e-9", "2f64"]);
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn zero_floats_recognized() {
+        for z in ["0.0", "0.", "0e0", "0.000", "0_f64", "0.0f32"] {
+            assert!(float_is_zero(z), "{z}");
+        }
+        for nz in ["1.0", "0.5", "1e-9"] {
+            assert!(!float_is_zero(nz), "{nz}");
+        }
+    }
+
+    #[test]
+    fn multi_char_punct_fused() {
+        let toks = kinds("a == b != c :: d -> e");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "::", "->"]);
+    }
+}

@@ -1,0 +1,210 @@
+//! `burstcap-lint` — workspace-local determinism & numerical-safety linting.
+//!
+//! Every number this reproduction reports is only trustworthy because the
+//! workspace holds a strict determinism-and-exactness contract. This crate
+//! machine-checks that contract: a dependency-free Rust [`lexer`], a
+//! brace-tracking `#[cfg(test)]`-region detector ([`context`]), and a rule
+//! engine ([`rules`]) enforcing the project invariants as named,
+//! individually-suppressible rules. `cargo run --release -p burstcap-lint
+//! -- check` is a blocking CI gate; the workspace stays lint-clean.
+//!
+//! Suppressions are written in place, with a mandatory justification:
+//!
+//! ```text
+//! let u = (x * d).min(1.0); // burstcap-lint: allow(silent-clamp) — <why>
+//! ```
+//!
+//! A bare allow with no justification is itself a violation
+//! (`bare-allow`). `allow-file(<rule>)` at any line scopes the suppression
+//! to the whole file (used by the bench timing seam).
+//!
+//! See ARCHITECTURE.md, "Static analysis", for the rule table, the
+//! clippy/burstcap-lint ownership partition, and how to add a rule.
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use context::{allows, test_regions, FileContext};
+pub use rules::{Violation, RULES};
+
+/// Directory names never descended into: external or generated code, and
+/// the lint fixtures themselves (they contain deliberate violations).
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures", "node_modules"];
+
+/// Result of linting a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+    /// All surviving (unsuppressed) violations, in path/line order.
+    pub violations: Vec<Violation>,
+}
+
+/// Lint a single file's source, classified by its workspace-relative path.
+///
+/// Suppression semantics: a justified `allow(<rule>)` marker silences that
+/// rule on its own line and on the line directly below it (covering both
+/// trailing markers and markers placed above the offending line);
+/// `allow-file` silences the rule for the whole file. Markers without a
+/// justification silence nothing and are reported as `bare-allow`.
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let ctx = FileContext::classify(rel_path);
+    let tokens = lexer::lex(src);
+    let regions = test_regions(&tokens);
+    let marks = allows(&tokens);
+
+    let mut violations = rules::check_all(rel_path, &ctx, &tokens, &regions);
+
+    violations.retain(|v| {
+        !marks.iter().any(|a| {
+            a.justified
+                && a.rule == v.rule
+                && (a.file_scope || v.line == a.line || v.line == a.line + 1)
+        })
+    });
+
+    for a in &marks {
+        if !a.justified {
+            violations.push(Violation {
+                rule: "bare-allow",
+                path: rel_path.to_owned(),
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "allow({}) without a justification; write `// burstcap-lint: allow({}) — <why>`",
+                    a.rule, a.rule
+                ),
+            });
+        } else if !RULES.iter().any(|r| r.name == a.rule) {
+            violations.push(Violation {
+                rule: "bare-allow",
+                path: rel_path.to_owned(),
+                line: a.line,
+                col: a.col,
+                message: format!("allow marker names unknown rule `{}`", a.rule),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    violations
+}
+
+/// Lint every `.rs` file under `root` (the workspace checkout), skipping
+/// `SKIP_DIRS`. Files are visited in sorted order, so the report is
+/// deterministic.
+///
+/// # Errors
+/// Propagates filesystem errors (unreadable directories or files).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for file in files {
+        let src = fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.files_checked += 1;
+        report.violations.extend(lint_source(&rel, &src));
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table is found.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_and_leading_markers_suppress_one_line() {
+        let src = "\
+use std::time::Instant;
+fn f() {
+    let a = Instant::now(); // burstcap-lint: allow(wallclock) — test of trailing marker
+    // burstcap-lint: allow(wallclock) — test of leading marker
+    let b = Instant::now();
+    let c = Instant::now();
+}
+";
+        let v = lint_source("crates/core/src/x.rs", src);
+        let wall: Vec<_> = v.iter().filter(|v| v.rule == "wallclock").collect();
+        assert_eq!(wall.len(), 1, "{wall:?}");
+        assert_eq!(wall[0].line, 6);
+    }
+
+    #[test]
+    fn bare_allow_is_a_violation_and_suppresses_nothing() {
+        let src =
+            "fn f() { let t = std::time::SystemTime::now(); } // burstcap-lint: allow(wallclock)\n";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert!(v.iter().any(|v| v.rule == "wallclock"));
+        assert!(v.iter().any(|v| v.rule == "bare-allow"));
+    }
+
+    #[test]
+    fn unknown_rule_in_marker_is_reported() {
+        let src = "// burstcap-lint: allow(no-such-rule) — misspelled\nfn f() {}\n";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "bare-allow");
+        assert!(v[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn allow_file_scopes_to_whole_file() {
+        let src = "\
+// burstcap-lint: allow-file(wallclock) — timing seam test double
+fn a() { let t = std::time::Instant::now(); }
+fn b() { let t = std::time::Instant::now(); }
+";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

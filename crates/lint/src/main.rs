@@ -1,0 +1,80 @@
+//! CLI for `burstcap-lint`.
+//!
+//! ```text
+//! burstcap-lint check [ROOT]   lint the workspace (default: walk up from cwd)
+//! burstcap-lint rules          print the rule table
+//! ```
+//!
+//! `check` exits 0 on a clean tree and 1 when violations survive; CI runs
+//! it as a blocking gate.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use burstcap_lint::{find_workspace_root, lint_workspace, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            println!("{:<18} {:<44} scope", "rule", "summary");
+            for r in RULES {
+                println!("{:<18} {:<44} {}", r.name, r.summary, r.scope);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => check(args.get(1).map(PathBuf::from)),
+        _ => {
+            eprintln!("usage: burstcap-lint check [ROOT] | burstcap-lint rules");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(root_arg: Option<PathBuf>) -> ExitCode {
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("burstcap-lint: cannot determine cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("burstcap-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match lint_workspace(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{}:{}:{}: {}: {}", v.path, v.line, v.col, v.rule, v.message);
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "burstcap-lint: {} files checked, workspace clean",
+                    report.files_checked
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "burstcap-lint: {} violation(s) in {} files checked — suppress with `// burstcap-lint: allow(<rule>) — <why>`",
+                    report.violations.len(),
+                    report.files_checked
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("burstcap-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

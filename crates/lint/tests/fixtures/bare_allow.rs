@@ -1,0 +1,12 @@
+// Fixture: `bare-allow`. Markers with no justification suppress nothing and
+// are themselves violations; so are markers naming unknown rules.
+
+pub fn bare_marker(v: Option<u32>) -> u32 {
+    // burstcap-lint: allow(panic-in-lib)
+    v.expect("not actually suppressed") // line 6: panic-in-lib still fires
+}
+
+pub fn unknown_rule() -> f64 {
+    // burstcap-lint: allow(panicky-lib) — misspelled rule name
+    1.0
+}

@@ -1,0 +1,25 @@
+// Fixture: `float-eq`. Exact comparison against a non-zero float literal
+// fires; structural-zero tests and suppressed sentinels don't.
+
+pub fn hit(p: f64) -> bool {
+    p == 0.5 // line 5: the live violation
+}
+
+pub fn zero_is_exempt(x: f64) -> bool {
+    x == 0.0 // structural zero: well-defined, not flagged
+}
+
+pub fn suppressed(p: f64) -> bool {
+    // burstcap-lint: allow(float-eq) — fixture: exact boundary sentinel
+    p == 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        assert!(super::hit(0.5) == true);
+        let x = 2.5;
+        assert!(x == 2.5);
+    }
+}

@@ -1,0 +1,40 @@
+// Fixture: `lossy-state-cast`. Integer casts fire crate-wide in qn; index
+// arithmetic fires only in state-indexing regions (Indexer impls, rank fns).
+
+pub struct FixtureIndexer {
+    cum: Vec<usize>,
+    n: usize,
+}
+
+impl FixtureIndexer {
+    pub fn rank_of(&self, occ: &[usize]) -> usize {
+        self.cum[occ[0] * self.n + occ[1]] // line 11: index arithmetic in an Indexer impl
+    }
+
+    pub fn suppressed(&self, occ: &[usize]) -> usize {
+        // burstcap-lint: allow(lossy-state-cast) — fixture: operands bounded by construction
+        self.cum[occ[0] * self.n + occ[1]]
+    }
+}
+
+pub fn cast_hit(x: u64) -> usize {
+    x as usize // line 21: lossy cast, anywhere in crate qn
+}
+
+pub fn cast_suppressed(x: u64) -> usize {
+    // burstcap-lint: allow(lossy-state-cast) — fixture: value bounded above by caller
+    x as usize
+}
+
+pub fn dense_kernel_is_not_state_arith(a: &[f64], m: usize) -> f64 {
+    // Outside Indexer impls / rank fns, index arithmetic is allocation-bounded.
+    a[1 * m + 0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        let _ = (u64::MAX) as usize;
+    }
+}

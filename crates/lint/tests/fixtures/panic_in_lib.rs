@@ -1,0 +1,35 @@
+// Fixture: `panic-in-lib`. Panicking shortcuts fire in library code only.
+
+pub fn hit(v: Option<u32>) -> u32 {
+    v.unwrap() // line 4: the live violation
+}
+
+pub fn hit_macro() {
+    panic!("fixture"); // line 8: second live violation
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // burstcap-lint: allow(panic-in-lib) — fixture: invariant documented here
+    v.expect("fixture invariant")
+}
+
+pub fn typed(v: Option<u32>) -> Result<u32, &'static str> {
+    v.ok_or("missing")
+}
+
+pub fn invariant_branch(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        // `unreachable!` is deliberately permitted: it documents a branch
+        // the type system cannot close.
+        _ => unreachable!("fixture: callers pass zero"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        let _ = super::typed(Some(3)).unwrap();
+    }
+}

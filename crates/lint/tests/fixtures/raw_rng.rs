@@ -1,0 +1,27 @@
+// Fixture: `raw-rng`. Underived seeding fires; routed and suppressed don't.
+use burstcap_seeds as seeds;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn hit(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed) // line 7: the live violation
+}
+
+pub fn routed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seeds::derive(seed, seeds::SERVICE_STREAM, 0))
+}
+
+pub fn suppressed(seed: u64) -> SmallRng {
+    // burstcap-lint: allow(raw-rng) — fixture: justified suppression
+    SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        let _ = super::hit(7);
+        use rand::SeedableRng;
+        let _ = rand::rngs::SmallRng::seed_from_u64(7);
+    }
+}

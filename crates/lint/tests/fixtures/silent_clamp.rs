@@ -1,0 +1,30 @@
+// Fixture: `silent-clamp`. Probability/rate clamps fire without a marker.
+
+pub fn hit_min(u: f64) -> f64 {
+    u.min(1.0) // line 4: the live violation
+}
+
+pub fn hit_max(g: f64) -> f64 {
+    g.max(0.0) // line 8: second live violation
+}
+
+pub fn hit_clamp(p: f64) -> f64 {
+    p.clamp(0.0, 1.0) // line 12: third live violation
+}
+
+pub fn unrelated_min_is_exempt(x: f64) -> f64 {
+    x.min(0.75) // not a probability-range clamp
+}
+
+pub fn suppressed(u: f64) -> f64 {
+    // burstcap-lint: allow(silent-clamp) — fixture: roundoff guard on a proven bound
+    u.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        assert_eq!(super::hit_min(2.0).min(1.0), 1.0);
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: `unordered-iter`. Hash collections fire in deterministic-output
+// crates; BTree replacements and suppressed/test uses don't.
+use std::collections::BTreeMap;
+use std::collections::HashMap; // line 4: the live violation
+
+pub fn ordered() -> BTreeMap<u64, f64> {
+    BTreeMap::new()
+}
+
+pub fn suppressed() -> usize {
+    // burstcap-lint: allow(unordered-iter) — fixture: keyed access only, never iterated
+    let m: HashMap<u64, f64> = HashMap::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn exempt_in_test_region() {
+        let _ = HashSet::<u32>::new();
+    }
+}

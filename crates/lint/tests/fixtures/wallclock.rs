@@ -1,0 +1,25 @@
+// Fixture: `wallclock`. One live hit, one suppressed, one test-exempt.
+use std::time::Instant;
+
+pub fn hit() -> f64 {
+    let t0 = Instant::now(); // line 5: the live violation
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn suppressed() -> f64 {
+    // burstcap-lint: allow(wallclock) — fixture: justified suppression
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn system_time_hit() {
+    let _ = std::time::SystemTime::now(); // line 16: second live violation
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        let _ = std::time::Instant::now();
+    }
+}

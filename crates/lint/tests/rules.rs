@@ -1,0 +1,121 @@
+//! Per-rule fixture tests: each fixture carries a positive hit, a justified
+//! suppression, and a test-context exemption; the assertions pin exactly
+//! which lines survive.
+//!
+//! Fixtures live under `tests/fixtures/` (a directory `lint_workspace`
+//! never descends into, since they contain deliberate violations) and are
+//! linted through `lint_source` with a synthetic workspace-relative path
+//! that selects the context under test.
+
+use burstcap_lint::lint_source;
+
+fn rules_at(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+    lint_source(path, src)
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn wallclock_fixture() {
+    let src = include_str!("fixtures/wallclock.rs");
+    let got = rules_at("crates/core/src/fixture.rs", src);
+    assert_eq!(got, vec![("wallclock", 5), ("wallclock", 16)]);
+}
+
+#[test]
+fn wallclock_is_silent_in_the_bench_timing_seam_context() {
+    // The real seam file carries allow-file(wallclock); replicate that here.
+    let src = "// burstcap-lint: allow-file(wallclock) — the timing seam\n\
+               use std::time::Instant;\n\
+               pub fn now_ms() -> f64 { Instant::now().elapsed().as_secs_f64() * 1e3 }\n";
+    assert!(rules_at("crates/bench/src/timing.rs", src).is_empty());
+}
+
+#[test]
+fn raw_rng_fixture() {
+    let src = include_str!("fixtures/raw_rng.rs");
+    let got = rules_at("crates/sim/src/fixture.rs", src);
+    assert_eq!(got, vec![("raw-rng", 7)]);
+}
+
+#[test]
+fn unordered_iter_fixture() {
+    let src = include_str!("fixtures/unordered_iter.rs");
+    // In a deterministic-output crate the bare HashMap import fires.
+    let got = rules_at("crates/stats/src/fixture.rs", src);
+    assert_eq!(got, vec![("unordered-iter", 4)]);
+    // In crates outside the deterministic-output set the rule is off.
+    assert!(rules_at("crates/map/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn lossy_state_cast_fixture() {
+    let src = include_str!("fixtures/lossy_state_cast.rs");
+    let got = rules_at("crates/qn/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("lossy-state-cast", 11), // `*` in the Indexer impl index
+            ("lossy-state-cast", 11), // `+` in the same expression
+            ("lossy-state-cast", 21), // `as usize`
+        ]
+    );
+    // The rule is scoped to crate qn.
+    assert!(rules_at("crates/stats/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn panic_in_lib_fixture() {
+    let src = include_str!("fixtures/panic_in_lib.rs");
+    let got = rules_at("crates/core/src/fixture.rs", src);
+    assert_eq!(got, vec![("panic-in-lib", 4), ("panic-in-lib", 8)]);
+    // Binaries, benches, and examples are exempt from the panic rules.
+    assert!(rules_at("crates/core/src/bin/tool.rs", src).is_empty());
+    assert!(rules_at("crates/bench/src/fixture.rs", src).is_empty());
+    assert!(rules_at("examples/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn float_eq_fixture() {
+    let src = include_str!("fixtures/float_eq.rs");
+    let got = rules_at("crates/core/src/fixture.rs", src);
+    assert_eq!(got, vec![("float-eq", 5)]);
+}
+
+#[test]
+fn silent_clamp_fixture() {
+    let src = include_str!("fixtures/silent_clamp.rs");
+    let got = rules_at("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("silent-clamp", 4),
+            ("silent-clamp", 8),
+            ("silent-clamp", 12),
+        ]
+    );
+}
+
+#[test]
+fn bare_allow_fixture() {
+    let src = include_str!("fixtures/bare_allow.rs");
+    let got = rules_at("crates/core/src/fixture.rs", src);
+    // The unjustified marker is a violation AND fails to suppress the
+    // panic-in-lib hit below it; the unknown rule name is also reported.
+    assert_eq!(
+        got,
+        vec![("bare-allow", 5), ("panic-in-lib", 6), ("bare-allow", 10),]
+    );
+}
+
+#[test]
+fn test_files_are_fully_exempt() {
+    for fixture in [
+        include_str!("fixtures/wallclock.rs"),
+        include_str!("fixtures/panic_in_lib.rs"),
+        include_str!("fixtures/silent_clamp.rs"),
+    ] {
+        assert!(rules_at("crates/core/tests/fixture.rs", fixture).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! The dogfood gate: the workspace that ships burstcap-lint must itself be
+//! lint-clean. This is the same check CI runs as a blocking step; having it
+//! in `cargo test -q` means a violation cannot land even when CI is
+//! skipped locally.
+
+use std::path::Path;
+
+use burstcap_lint::lint_workspace;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = lint_workspace(&root).expect("workspace tree is readable");
+    assert!(
+        report.files_checked > 50,
+        "suspiciously few files checked ({}) — wrong root?",
+        report.files_checked
+    );
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{}:{}: {}: {}", v.path, v.line, v.col, v.rule, v.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace must stay lint-clean; violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -234,6 +234,7 @@ impl Map2Fitter {
                     ),
                 });
             }
+            // burstcap-lint: allow(silent-clamp) — infeasible I < 1/2 already rejected above; the clamp projects onto the SCV range this two-phase candidate family can represent
             let scv = self.index_of_dispersion.clamp(0.5, 1.0);
             let marginal = Ph2::from_mean_scv(self.mean, scv)?;
             let map = renewal_map2(marginal)?;
@@ -300,6 +301,7 @@ impl Map2Fitter {
             })?;
 
         let marginal = h2_with_weight(self.mean, chosen.scv, chosen.p)
+            // burstcap-lint: allow(panic-in-lib) — the chosen candidate was built from this same feasible marginal during search
             .expect("chosen candidate was constructed from a feasible marginal");
         let map = Map2::from_hyper_marginal(marginal, chosen.gamma)?;
         Ok(FittedMap2 {

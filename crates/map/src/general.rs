@@ -97,12 +97,8 @@ impl Map {
         let mut inv = identity(n);
         for col in 0..n {
             let pivot = (col..n)
-                .max_by(|&i, &j| {
-                    a[i][col]
-                        .abs()
-                        .partial_cmp(&a[j][col].abs())
-                        .expect("finite")
-                })
+                .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+                // burstcap-lint: allow(panic-in-lib) — col < n keeps the pivot range non-empty
                 .expect("non-empty");
             a.swap(col, pivot);
             inv.swap(col, pivot);
@@ -325,12 +321,8 @@ fn invert(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let mut inv = identity(n);
     for col in 0..n {
         let pivot = (col..n)
-            .max_by(|&i, &j| {
-                work[i][col]
-                    .abs()
-                    .partial_cmp(&work[j][col].abs())
-                    .expect("finite")
-            })
+            .max_by(|&i, &j| work[i][col].abs().total_cmp(&work[j][col].abs()))
+            // burstcap-lint: allow(panic-in-lib) — col < n keeps the pivot range non-empty
             .expect("non-empty");
         work.swap(col, pivot);
         inv.swap(col, pivot);

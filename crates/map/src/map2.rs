@@ -134,12 +134,14 @@ impl Map2 {
                 reason: "mixed-phase family requires a hyperexponential marginal".into(),
             });
         };
+        // burstcap-lint: allow(float-eq) — p == 1.0 is an exact boundary sentinel, not a computed value
         if !(0.0..1.0).contains(&p) && p != 1.0 {
             return Err(MapError::InvalidParameter {
                 name: "marginal",
                 reason: format!("mixture weight must lie in (0, 1], got {p}"),
             });
         }
+        // burstcap-lint: allow(float-eq) — exact sentinel: caller-supplied boundary weight selects the degenerate family
         if p == 1.0 {
             // Degenerate single-phase marginal: gamma is irrelevant.
             return Map2::poisson(rate1);
@@ -335,6 +337,7 @@ impl Map2 {
         let pi = self.embedded_stationary();
         let e = expm2(&self.d0, x);
         let survival = pi[0] * (e[0][0] + e[0][1]) + pi[1] * (e[1][0] + e[1][1]);
+        // burstcap-lint: allow(silent-clamp) — expm roundoff can push a CDF value 1e-16 outside [0,1]; clamp restores the probability axioms
         (1.0 - survival).clamp(0.0, 1.0)
     }
 

@@ -9,6 +9,7 @@
 //! distribution is identical by construction and only the temporal order —
 //! hence `I` — changes.
 
+use burstcap_seeds as seeds;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -45,7 +46,7 @@ pub enum BurstProfile {
 /// Propagates [`Ph2::from_mean_scv`] domain errors.
 pub fn hyperexp_trace(n: usize, mean: f64, scv: f64, seed: u64) -> Result<Vec<f64>, MapError> {
     let ph = Ph2::from_mean_scv(mean, scv)?;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seeds::derive(seed, seeds::TRACE_DRAW_STREAM, 0));
     Ok((0..n).map(|_| ph.sample(&mut rng)).collect())
 }
 
@@ -77,7 +78,11 @@ pub fn impose_burstiness(
             reason: "empty trace".into(),
         });
     }
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB17B17);
+    // Shuffle stream derived separately from the draw stream, so imposing a
+    // profile with the same user seed that produced the base trace never
+    // replays the draw stream (formerly an ad-hoc `seed ^ 0xB17B17` salt —
+    // the PR-3 cross-stream collision class).
+    let mut rng = SmallRng::seed_from_u64(seeds::derive(seed, seeds::TRACE_SHUFFLE_STREAM, 0));
     match profile {
         BurstProfile::Iid => {
             let mut out = samples.to_vec();
@@ -86,7 +91,7 @@ pub fn impose_burstiness(
         }
         BurstProfile::Sorted => {
             let mut out = samples.to_vec();
-            out.sort_by(|a, b| a.partial_cmp(b).expect("trace must not contain NaN"));
+            out.sort_by(f64::total_cmp);
             Ok(out)
         }
         BurstProfile::Modulated { p_small, gamma } => {
@@ -115,7 +120,7 @@ pub fn impose_burstiness(
 fn modulated_order(samples: &[f64], p_small: f64, gamma: f64, rng: &mut SmallRng) -> Vec<f64> {
     let n = samples.len();
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("trace must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     let cut = ((n as f64) * p_small).round() as usize;
     let cut = cut.clamp(1, n - 1);
     let mut small: Vec<f64> = sorted[..cut].to_vec();
@@ -132,6 +137,7 @@ fn modulated_order(samples: &[f64], p_small: f64, gamma: f64, rng: &mut SmallRng
             Some(v) => out.push(v),
             None => {
                 let other = if state_small { &mut large } else { &mut small };
+                // burstcap-lint: allow(panic-in-lib) — the two pools jointly hold exactly n samples, so one is non-empty while out is short
                 out.push(other.pop().expect("pools jointly hold n samples"));
             }
         }

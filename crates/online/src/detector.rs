@@ -140,7 +140,9 @@ impl CusumDetector {
         // to absolute deviations.
         let scale = mu0.abs().max(1e-12);
         let z = (x - mu0) / scale;
+        // burstcap-lint: allow(silent-clamp) — reflection at zero is the CUSUM recursion's definition (Page's test), not an error mask
         self.g_pos = (self.g_pos + z - self.options.slack).max(0.0);
+        // burstcap-lint: allow(silent-clamp) — same: definitional CUSUM reflection at zero
         self.g_neg = (self.g_neg - z - self.options.slack).max(0.0);
         self.g_pos > self.options.threshold || self.g_neg > self.options.threshold
     }

@@ -46,6 +46,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Bare `.unwrap()` is banned in library targets; burstcap-lint's
+// `panic-in-lib` is the lexical twin (it also covers expect/panic!, with
+// justification markers), clippy the type-aware backstop. The test target
+// compiles with the allow, so unit tests may unwrap freely.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod detector;
 mod error;

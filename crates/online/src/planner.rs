@@ -322,6 +322,7 @@ impl OnlinePlanner {
             if fresh.iter().any(Option::is_none) {
                 return Ok(None);
             }
+            // burstcap-lint: allow(panic-in-lib) — every fresh entry was checked Some in the guard above
             let chars: Vec<_> = fresh.into_iter().map(|c| c.expect("checked")).collect();
             let drifts = vec![0.0; chars.len()];
             return match self.refit_and_solve(chars.clone()) {
@@ -353,6 +354,7 @@ impl OnlinePlanner {
         let mut refitted = false;
         let mut warm = false;
         if want_refit && can_refit {
+            // burstcap-lint: allow(panic-in-lib) — every fresh entry was checked Some in the guard above
             let chars: Vec<_> = fresh.iter().cloned().map(|c| c.expect("checked")).collect();
             match self.refit_and_solve(chars) {
                 Ok(w) => {
@@ -375,6 +377,7 @@ impl OnlinePlanner {
             .map(|t| {
                 t.last_char
                     .clone()
+                    // burstcap-lint: allow(panic-in-lib) — refitting is only reached once every tier has been characterized
                     .expect("fits exist => all characterized once")
             })
             .collect();
@@ -477,6 +480,7 @@ impl OnlinePlanner {
             prediction: self
                 .prediction
                 .clone()
+                // burstcap-lint: allow(panic-in-lib) — the report path is gated on a prediction existing
                 .expect("reports are only emitted once a prediction exists"),
         }
     }

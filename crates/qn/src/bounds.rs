@@ -70,8 +70,10 @@ pub fn throughput_bounds(
     // demand) attains the maximum throughput — its exact MVA solution is a
     // valid upper bound, tightened by the bottleneck asymptote.
     let balanced = crate::mva::ClosedMva::new(vec![d_avg; demands.len()], think_time)
+        // burstcap-lint: allow(panic-in-lib) — equal positive demands and a validated think time cannot be rejected
         .expect("balanced demands are valid by construction")
         .solve(population)
+        // burstcap-lint: allow(panic-in-lib) — the population was validated at function entry
         .expect("population validated above");
     let balanced_upper = balanced.throughput.min(upper);
 

@@ -200,6 +200,7 @@ impl StateIndexer {
                 cum[d][b] = left.checked_add(cum[d - 1][b]).ok_or_else(overflow)?;
             }
         }
+        // burstcap-lint: allow(lossy-state-cast) — m is a station count (tiny); checked_shl rejects any shift >= word size regardless
         let phases = 1usize.checked_shl(m as u32).ok_or_else(overflow)?;
         cum[m][n].checked_mul(phases).ok_or_else(overflow)?;
         Ok(StateIndexer { n, phases, cum })
@@ -208,6 +209,7 @@ impl StateIndexer {
     /// Total number of CTMC states the indexer ranks: occupancy count times
     /// the phase factor (overflow-checked at construction).
     pub(crate) fn state_count(&self) -> usize {
+        // burstcap-lint: allow(lossy-state-cast) — trailing_zeros() <= 64 always widens losslessly into usize
         let m = self.phases.trailing_zeros() as usize;
         self.cum[m][self.n] * self.phases
     }
@@ -216,6 +218,7 @@ impl StateIndexer {
     /// given lexicographic rank. `O(N·M)` — used once per worker to seed a
     /// row range, not on the per-state hot path.
     pub(crate) fn unrank(&self, mut rank: usize) -> Vec<usize> {
+        // burstcap-lint: allow(lossy-state-cast) — trailing_zeros() <= 64 always widens losslessly into usize
         let m = self.phases.trailing_zeros() as usize;
         let mut occ = vec![0usize; m];
         let mut b = self.n;
@@ -223,6 +226,7 @@ impl StateIndexer {
             let d = m - i;
             // Largest component value whose predecessor count fits in rank.
             let mut o = 0usize;
+            // burstcap-lint: allow(lossy-state-cast) — o < b <= n bounds o + 1; the cum table itself is overflow-checked at construction
             while o < b && self.cum[d][b] - self.cum[d][b - (o + 1)] <= rank {
                 o += 1;
             }

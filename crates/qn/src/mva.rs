@@ -13,7 +13,10 @@
 //! populations and exact multiclass MVA for mixed workloads.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+// BTreeMap, not HashMap: the memo is keyed by population vectors and its
+// iteration order must not leak randomness into any output (burstcap-lint's
+// `unordered-iter` rule; CI diffs solver outputs bit-for-bit).
+use std::collections::BTreeMap;
 
 use crate::QnError;
 
@@ -95,6 +98,7 @@ impl ClosedMva {
         Ok(MvaSolution {
             throughput: x,
             response_time: r_total,
+            // burstcap-lint: allow(silent-clamp) — closed-network utilization law bounds X·D below 1; min() trims roundoff only
             utilization: self.demands.iter().map(|d| (x * d).min(1.0)).collect(),
             queue_length: q,
         })
@@ -129,6 +133,7 @@ impl ClosedMva {
                 return Ok(MvaSolution {
                     throughput: x,
                     response_time: r_total,
+                    // burstcap-lint: allow(silent-clamp) — closed-network utilization law; min() trims roundoff only
                     utilization: self.demands.iter().map(|d| (x * d).min(1.0)).collect(),
                     queue_length: q,
                 });
@@ -235,7 +240,7 @@ impl MulticlassMva {
         }
 
         // Memoized queue lengths per population vector.
-        let mut memo: HashMap<Vec<usize>, Vec<f64>> = HashMap::new();
+        let mut memo: BTreeMap<Vec<usize>, Vec<f64>> = BTreeMap::new();
         memo.insert(vec![0; c], vec![0.0; m]);
 
         let (q_final, x_final, r_final) = self.solve_recursive(population.to_vec(), &mut memo);
@@ -250,6 +255,7 @@ impl MulticlassMva {
         Ok(MulticlassSolution {
             throughput: x_final,
             response_time: r_final,
+            // burstcap-lint: allow(silent-clamp) — closed-network utilization law; min() trims roundoff only
             utilization: util.into_iter().map(|u| u.min(1.0)).collect(),
         })
     }
@@ -258,7 +264,7 @@ impl MulticlassMva {
     fn solve_recursive(
         &self,
         pop: Vec<usize>,
-        memo: &mut HashMap<Vec<usize>, Vec<f64>>,
+        memo: &mut BTreeMap<Vec<usize>, Vec<f64>>,
     ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let c = self.demands.len();
         let m = self.demands[0].len();

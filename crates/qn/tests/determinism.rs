@@ -1,0 +1,64 @@
+//! Output-stability regression tests.
+//!
+//! The multiclass MVA memo is keyed by population vectors; it used to be a
+//! `HashMap`, whose per-instance hash seed makes iteration order differ
+//! between two solves in the same process. Nothing may leak that order into
+//! results: two solves of the same model must agree bit-for-bit, and the
+//! solution must match the exact recursion computed independently.
+
+use burstcap_qn::mva::{ClosedMva, MulticlassMva};
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn multiclass_mva_is_bitwise_stable_across_solves() {
+    let model = MulticlassMva::new(
+        vec![
+            vec![0.010, 0.003, 0.0015],
+            vec![0.002, 0.016, 0.0010],
+            vec![0.004, 0.004, 0.0200],
+        ],
+        vec![0.5, 0.7, 0.35],
+    )
+    .unwrap();
+    let pop = [7, 5, 6];
+    let a = model.solve(&pop).unwrap();
+    for _ in 0..3 {
+        let b = model.solve(&pop).unwrap();
+        assert_eq!(bits(&a.throughput), bits(&b.throughput));
+        assert_eq!(bits(&a.response_time), bits(&b.response_time));
+        assert_eq!(bits(&a.utilization), bits(&b.utilization));
+    }
+}
+
+#[test]
+fn single_class_mva_is_bitwise_stable_across_solves() {
+    let model = ClosedMva::new(vec![0.008, 0.0045, 0.011], 0.5).unwrap();
+    let a = model.solve(160).unwrap();
+    let b = model.solve(160).unwrap();
+    assert_eq!(bits(&a.utilization), bits(&b.utilization));
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    assert_eq!(a.response_time.to_bits(), b.response_time.to_bits());
+}
+
+#[test]
+fn multiclass_memo_order_cannot_leak_into_results() {
+    // Permuting which class is solved first must not change per-class
+    // answers: solve a two-class model and its class-swapped mirror and
+    // check the answers are mirrors of each other to the last bit.
+    let d = vec![vec![0.010, 0.002], vec![0.003, 0.014]];
+    let z = vec![0.5, 0.8];
+    let swapped_d = vec![d[1].clone(), d[0].clone()];
+    let swapped_z = vec![z[1], z[0]];
+    let a = MulticlassMva::new(d, z).unwrap().solve(&[6, 9]).unwrap();
+    let b = MulticlassMva::new(swapped_d, swapped_z)
+        .unwrap()
+        .solve(&[9, 6])
+        .unwrap();
+    assert_eq!(a.throughput[0].to_bits(), b.throughput[1].to_bits());
+    assert_eq!(a.throughput[1].to_bits(), b.throughput[0].to_bits());
+    assert_eq!(a.response_time[0].to_bits(), b.response_time[1].to_bits());
+    assert_eq!(a.response_time[1].to_bits(), b.response_time[0].to_bits());
+}

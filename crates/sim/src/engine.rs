@@ -30,8 +30,7 @@ impl Ord for Key {
         // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times must not be NaN")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

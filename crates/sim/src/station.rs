@@ -69,6 +69,7 @@ impl PsServer {
         if n > 0 {
             let each = (now - self.last_update) / n as f64;
             for j in self.jobs.iter_mut() {
+                // burstcap-lint: allow(silent-clamp) — floors float underrun of remaining work; the PS share cannot logically exceed what is left
                 j.remaining = (j.remaining - each).max(0.0);
             }
         }
@@ -102,6 +103,7 @@ impl PsServer {
             .map(|j| j.remaining)
             .fold(f64::INFINITY, f64::min);
         // Remaining work still to do at `now` given sharing since last_update.
+        // burstcap-lint: allow(silent-clamp) — same underrun floor: the next completion cannot precede `now`
         let residual = (min_remaining - elapsed / n).max(0.0);
         Some(now + residual * n)
     }
@@ -119,11 +121,8 @@ impl PsServer {
             .jobs
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                a.1.remaining
-                    .partial_cmp(&b.1.remaining)
-                    .expect("finite work")
-            })
+            .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining))
+            // burstcap-lint: allow(panic-in-lib) — caller holds the non-empty invariant; pop is only reached when jobs exist
             .expect("non-empty");
         self.generation += 1;
         self.jobs.swap_remove(idx)

@@ -200,8 +200,8 @@ impl ServicePercentileEstimator {
             });
         }
 
-        busy_samples.sort_by(|a, b| a.partial_cmp(b).expect("busy times are finite"));
-        count_samples.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+        busy_samples.sort_by(f64::total_cmp);
+        count_samples.sort_by(f64::total_cmp);
         let p95_busy = percentile_of_sorted(&busy_samples, self.quantile);
         let med_n = percentile_of_sorted(&count_samples, 0.5);
         debug_assert!(med_n >= 1.0);

@@ -174,6 +174,7 @@ pub fn student_t_quantile(df: f64, p: f64) -> Result<f64, StatsError> {
             reason: format!("probability must lie in (0, 1), got {p}"),
         });
     }
+    // burstcap-lint: allow(float-eq) — exact sentinel: the symmetry pivot of the quantile, short-circuiting bisection
     if p == 0.5 {
         return Ok(0.0);
     }

@@ -114,10 +114,7 @@ pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
         return Err(StatsError::TraceTooShort { got: 0, needed: 1 });
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| {
-        a.partial_cmp(b)
-            .expect("percentile input must not contain NaN")
-    });
+    sorted.sort_by(f64::total_cmp);
     Ok(percentile_of_sorted(&sorted, p))
 }
 
@@ -185,10 +182,7 @@ impl Summary {
             });
         }
         let mut sorted: Vec<f64> = data.to_vec();
-        sorted.sort_by(|a, b| {
-            a.partial_cmp(b)
-                .expect("summary input must not contain NaN")
-        });
+        sorted.sort_by(f64::total_cmp);
         Ok(Summary {
             count: data.len(),
             mean: m,
@@ -197,6 +191,7 @@ impl Summary {
             min: sorted[0],
             median: percentile_of_sorted(&sorted, 0.5),
             p95: percentile_of_sorted(&sorted, 0.95),
+            // burstcap-lint: allow(panic-in-lib) — the input slice was validated non-empty at entry
             max: *sorted.last().expect("non-empty"),
         })
     }

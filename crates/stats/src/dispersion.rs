@@ -264,6 +264,7 @@ impl DispersionEstimator {
                         needed: self.min_windows,
                     });
                 }
+                // burstcap-lint: allow(panic-in-lib) — the curve was checked non-empty directly above
                 let last = *curve.last().expect("non-empty checked above");
                 return Ok(DispersionEstimate {
                     index: last.y,
@@ -272,12 +273,14 @@ impl DispersionEstimator {
                 });
             }
 
+            // burstcap-lint: allow(panic-in-lib) — window count >= min_windows >= 1 was enforced above
             let e = mean(&counts).expect("window count >= min_windows >= 1");
             if e == 0.0 {
                 return Err(StatsError::Degenerate {
                     reason: "mean completion count is zero in busy windows".into(),
                 });
             }
+            // burstcap-lint: allow(panic-in-lib) — counts are non-empty per the same min_windows bound
             let y = variance(&counts).expect("non-empty") / e;
             curve.push(CurvePoint {
                 t,
@@ -308,6 +311,7 @@ impl DispersionEstimator {
             prev_y = Some(y);
         }
 
+        // burstcap-lint: allow(panic-in-lib) — max_levels >= 1 guarantees at least one curve point
         let last = *curve.last().expect("max_levels >= 1");
         if self.strict {
             return Err(StatsError::NoConvergence {
@@ -348,6 +352,7 @@ pub fn aggregate_counts(busy: &[f64], completions: &[u64], t: f64) -> Vec<f64> {
     let mut prefix: Vec<u64> = Vec::with_capacity(k_max + 1);
     prefix.push(0);
     for &c in completions {
+        // burstcap-lint: allow(panic-in-lib) — prefix starts with a pushed zero and never shrinks
         prefix.push(prefix.last().expect("non-empty") + c);
     }
 

@@ -208,12 +208,7 @@ fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<()> {
     let n = b.len();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .expect("finite")
-        })?;
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }

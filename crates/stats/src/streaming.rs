@@ -313,6 +313,7 @@ impl StreamingDispersion {
                 .collect();
         }
         self.busy.push(utilization * self.resolution);
+        // burstcap-lint: allow(panic-in-lib) — prefix is seeded with a zero at construction
         let last = *self.prefix.last().expect("prefix starts non-empty");
         self.prefix.push(last + completions);
         self.total_completions += completions;
@@ -350,6 +351,7 @@ impl StreamingDispersion {
             .iter()
             .map(|l| l.k)
             .min()
+            // burstcap-lint: allow(panic-in-lib) — levels materialize on the first push; this path is gated on pushes having happened
             .expect("levels materialized on first push");
         if min_k - self.base >= PRUNE_CHUNK {
             let drop = min_k - self.base;
@@ -413,6 +415,7 @@ impl StreamingDispersion {
                         needed: self.min_windows,
                     });
                 }
+                // burstcap-lint: allow(panic-in-lib) — the curve was checked non-empty directly above
                 let last = *curve.last().expect("non-empty checked above");
                 return Ok(DispersionEstimate::from_parts(last.y, false, curve));
             }
@@ -444,6 +447,7 @@ impl StreamingDispersion {
                 iterations: curve.len(),
             });
         }
+        // burstcap-lint: allow(panic-in-lib) — the first level always contributes a point before this path
         let last = *curve.last().expect("max_levels >= 1, first level passed");
         Ok(DispersionEstimate::from_parts(last.y, false, curve))
     }
@@ -544,8 +548,7 @@ impl P2Quantile {
         if self.count <= 5 {
             self.head.push(x);
             if self.count == 5 {
-                self.head
-                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+                self.head.sort_by(f64::total_cmp);
                 for (qi, &h) in self.q.iter_mut().zip(self.head.iter()) {
                     *qi = h;
                 }
@@ -564,6 +567,7 @@ impl P2Quantile {
             // q[k] <= x < q[k + 1].
             (0..4)
                 .find(|&i| x < self.q[i + 1])
+                // burstcap-lint: allow(panic-in-lib) — x < q[4] was established by the branch above, so some cell matches
                 .expect("x < q[4] checked above")
         };
 
@@ -616,7 +620,7 @@ impl P2Quantile {
             0 => None,
             1..=5 => {
                 let mut sorted = self.head.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+                sorted.sort_by(f64::total_cmp);
                 Some(percentile_of_sorted(&sorted, self.p))
             }
             _ => Some(self.q[2]),
@@ -716,7 +720,9 @@ impl StreamingServicePercentile {
                 reason: "no window with completions".into(),
             });
         }
+        // burstcap-lint: allow(panic-in-lib) — gated on busy_windows > 0 directly above
         let p95_busy = self.busy_tail.quantile().expect("busy_windows > 0");
+        // burstcap-lint: allow(panic-in-lib) — gated on busy_windows > 0 directly above
         let med_n = self.count_median.quantile().expect("busy_windows > 0");
         Ok(BusyTimeCharacterization {
             mean_service_time: self.total_busy / self.total_completions as f64,

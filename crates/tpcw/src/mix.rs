@@ -93,6 +93,7 @@ impl Mix {
             }
             u -= weight;
         }
+        // burstcap-lint: allow(panic-in-lib) — ALL_TYPES is a non-empty const table
         *ALL_TYPES.last().expect("non-empty")
     }
 

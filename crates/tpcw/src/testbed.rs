@@ -10,7 +10,10 @@
 //! burstiness; everything downstream (utilization spikes, queue bursts,
 //! bottleneck switch) is emergent.
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: in-flight jobs are keyed by sequential id; an
+// ordered map keeps any future iteration over them deterministic by
+// construction (burstcap-lint `unordered-iter` discipline).
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -309,7 +312,7 @@ impl Testbed {
         let mut front = PsServer::new();
         let mut db = PsServer::new();
         let mut shared = SharedResource::new(cfg.contention);
-        let mut jobs: HashMap<u64, Job> = HashMap::new();
+        let mut jobs: BTreeMap<u64, Job> = BTreeMap::new();
         let mut next_job_id: u64 = 0;
         let three_tier = matches!(cfg.topology, Topology::ThreeTier { .. });
 
@@ -347,6 +350,7 @@ impl Testbed {
             Topology::ThreeTier {
                 web_demand,
                 web_scv,
+                // burstcap-lint: allow(panic-in-lib) — the SCV was validated by TestbedConfig::validate before the run started
             } => Some(Ph2::from_mean_scv(web_demand, web_scv).expect("validated scv")),
         };
 
@@ -372,6 +376,7 @@ impl Testbed {
                         rng.random_range(q_lo..=q_hi)
                     };
                     let total_fs = fs_slice_dist(tx.front_demand())
+                        // burstcap-lint: allow(panic-in-lib) — the SCV was validated by TestbedConfig::validate before the run started
                         .expect("validated scv")
                         .sample(&mut rng);
                     let slice_work = total_fs / (queries + 1) as f64;
@@ -434,6 +439,7 @@ impl Testbed {
                     }
                     web_counts.record(now);
 
+                    // burstcap-lint: allow(panic-in-lib) — every completion id was inserted into the job table at arrival and lives until transaction end
                     let job = jobs.get_mut(&done.id).expect("job metadata exists");
                     let Stage::Web { remaining_queries } = job.stage else {
                         unreachable!("web completion for a job not at the web tier");
@@ -462,6 +468,7 @@ impl Testbed {
                         schedule_completion(&mut calendar, &front, now, Server::Front);
                     }
 
+                    // burstcap-lint: allow(panic-in-lib) — every completion id was inserted into the job table at arrival and lives until transaction end
                     let job = jobs.get_mut(&done.id).expect("job metadata exists");
                     let Stage::Front { remaining_queries } = job.stage else {
                         unreachable!("front completion for a job not at the front tier");
@@ -480,6 +487,7 @@ impl Testbed {
                             1.0
                         };
                         let work = db_query_dist(job.tx.db_query_demand())
+                            // burstcap-lint: allow(panic-in-lib) — the SCV was validated by TestbedConfig::validate before the run started
                             .expect("validated scv")
                             .sample(&mut rng)
                             * mult;
@@ -498,6 +506,7 @@ impl Testbed {
                         schedule_completion(&mut calendar, &db, now, Server::Db);
                     } else {
                         // Transaction complete.
+                        // burstcap-lint: allow(panic-in-lib) — every completion id was inserted into the job table at arrival and lives until transaction end
                         let job = jobs.remove(&done.id).expect("job metadata exists");
                         in_system[job.tx.index()] -= 1;
                         type_rec[job.tx.index()].update(now, in_system[job.tx.index()] as f64);
@@ -524,6 +533,7 @@ impl Testbed {
                         schedule_completion(&mut calendar, &db, now, Server::Db);
                     }
 
+                    // burstcap-lint: allow(panic-in-lib) — every completion id was inserted into the job table at arrival and lives until transaction end
                     let job = jobs.get_mut(&done.id).expect("job metadata exists");
                     let Stage::Db {
                         remaining_queries,
