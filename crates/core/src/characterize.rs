@@ -78,6 +78,12 @@ pub struct ServiceCharacterization {
 /// assert!((c.mean_service_time - 0.01).abs() < 1e-9); // 2 s busy / 200 jobs
 /// # Ok::<(), burstcap::PlanError>(())
 /// ```
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (6 reachable
+/// panic sites, e.g. `crates/stats/src/dispersion.rs:268`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn characterize(
     measurements: &TierMeasurements,
     options: CharacterizeOptions,

@@ -159,6 +159,12 @@ impl Replications {
     ///
     /// # Errors
     /// Propagates the lowest-indexed scenario error.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/core/src/experiment.rs:213`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn run<T, E, F>(&self, scenario: F) -> Result<Vec<T>, E>
     where
         F: Fn(Replication) -> Result<T, E> + Sync,
@@ -290,6 +296,12 @@ impl Experiment {
     ///
     /// # Errors
     /// Propagates the lowest-indexed scenario error.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (4 reachable
+    /// panic sites, e.g. `crates/core/src/experiment.rs:213`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn run<T, E, F>(&self, scenario: F) -> Result<ExperimentResult<T>, E>
     where
         F: Fn(Replication) -> Result<T, E> + Sync,
@@ -311,6 +323,12 @@ impl Experiment {
     ///
     /// # Errors
     /// Propagates the lowest-indexed scenario error of the failing batch.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (3 reachable
+    /// panic sites, e.g. `crates/core/src/experiment.rs:213`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn run_until<T, E, F>(
         &self,
         rule: RelativePrecision,

@@ -144,6 +144,12 @@ impl CapacityPlanner {
     ///
     /// # Errors
     /// Propagates characterization and fitting failures.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (9 reachable
+    /// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn from_measurements(
         front: &TierMeasurements,
         db: &TierMeasurements,
@@ -156,6 +162,12 @@ impl CapacityPlanner {
     ///
     /// # Errors
     /// Propagates characterization and fitting failures.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (9 reachable
+    /// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn with_options(
         front: &TierMeasurements,
         db: &TierMeasurements,
@@ -170,6 +182,12 @@ impl CapacityPlanner {
     /// # Errors
     /// Rejects an empty tier list; propagates characterization and fitting
     /// failures.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (9 reachable
+    /// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn from_tier_measurements(
         tiers: &[&TierMeasurements],
         options: PlannerOptions,
@@ -187,6 +205,12 @@ impl CapacityPlanner {
     ///
     /// # Errors
     /// Propagates fitting failures.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (3 reachable
+    /// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn from_characterizations(
         front: ServiceCharacterization,
         db: ServiceCharacterization,
@@ -200,6 +224,12 @@ impl CapacityPlanner {
     ///
     /// # Errors
     /// Rejects an empty tier list; propagates fitting failures.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (3 reachable
+    /// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn from_tier_characterizations(
         tiers: Vec<ServiceCharacterization>,
         options: PlannerOptions,
@@ -243,6 +273,12 @@ impl CapacityPlanner {
 
     /// The last tier's measured descriptors (the database tier of the
     /// two-tier model).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/core/src/planner.rs:248`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn db_characterization(&self) -> &ServiceCharacterization {
         // burstcap-lint: allow(panic-in-lib) — the constructor rejects empty tier lists
         self.tiers.last().expect("validated non-empty")
@@ -254,6 +290,12 @@ impl CapacityPlanner {
     }
 
     /// The last tier's fitted MAP(2) with diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/core/src/planner.rs:259`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn db_fit(&self) -> &FittedMap2 {
         // burstcap-lint: allow(panic-in-lib) — the constructor rejects empty tier lists
         self.fits.last().expect("validated non-empty")
@@ -291,6 +333,12 @@ impl CapacityPlanner {
     ///
     /// # Errors
     /// Propagates model-solution failures.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/qn/src/ctmc.rs:520`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn predict(&self, population: usize, think_time: f64) -> Result<Prediction, PlanError> {
         let net = self.network(population, think_time)?;
         Ok((population, self.solver.solve(&net)?).into())
@@ -300,6 +348,12 @@ impl CapacityPlanner {
     ///
     /// # Errors
     /// Propagates the first per-population failure.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/core/src/planner.rs:444`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn predict_sweep(
         &self,
         populations: &[usize],
@@ -328,6 +382,12 @@ impl CapacityPlanner {
 ///
 /// # Errors
 /// Propagates fitting failures.
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (3 reachable
+/// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn fit_characterization(
     c: &ServiceCharacterization,
     i_tolerance: f64,
@@ -424,6 +484,12 @@ impl MvaBaseline {
     }
 
     /// The last tier's demand.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/core/src/planner.rs:429`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn db_demand(&self) -> f64 {
         // burstcap-lint: allow(panic-in-lib) — the constructor rejects empty tier lists
         *self.demands.last().expect("validated non-empty")
@@ -433,6 +499,12 @@ impl MvaBaseline {
     ///
     /// # Errors
     /// Propagates solver parameter errors.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/core/src/planner.rs:444`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn predict(&self, population: usize, think_time: f64) -> Result<Prediction, PlanError> {
         let mva = ClosedMva::new(self.demands.clone(), think_time)?;
         let s = mva.solve(population)?;
@@ -451,6 +523,12 @@ impl MvaBaseline {
     ///
     /// # Errors
     /// Propagates the first per-population failure.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/core/src/planner.rs:444`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn predict_sweep(
         &self,
         populations: &[usize],

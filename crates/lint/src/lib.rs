@@ -2,11 +2,16 @@
 //!
 //! Every number this reproduction reports is only trustworthy because the
 //! workspace holds a strict determinism-and-exactness contract. This crate
-//! machine-checks that contract: a dependency-free Rust [`lexer`], a
-//! brace-tracking `#[cfg(test)]`-region detector ([`context`]), and a rule
-//! engine ([`rules`]) enforcing the project invariants as named,
-//! individually-suppressible rules. `cargo run --release -p burstcap-lint
-//! -- check` is a blocking CI gate; the workspace stays lint-clean.
+//! machine-checks that contract at two depths: a dependency-free Rust
+//! [`lexer`] feeding per-file lexical rules ([`rules`]), and — on top of
+//! the same token stream — a lightweight recursive-descent [`parser`], a
+//! workspace [`model`], and a [`callgraph`] feeding the interprocedural
+//! semantic rules ([`semrules`]): panic reachability for the public API,
+//! parallelism scoping, `Result` discipline, and seed provenance.
+//! `cargo run --release -p burstcap-lint -- check` is a blocking CI gate;
+//! the workspace stays lint-clean, and `burstcap-lint report` emits the
+//! full panic-reachability matrix as deterministic JSON that CI archives
+//! and twice-run-diffs.
 //!
 //! Suppressions are written in place, with a mandatory justification:
 //!
@@ -21,15 +26,21 @@
 //! See ARCHITECTURE.md, "Static analysis", for the rule table, the
 //! clippy/burstcap-lint ownership partition, and how to add a rule.
 
+pub mod callgraph;
 pub mod context;
 pub mod lexer;
+pub mod model;
+pub mod parser;
 pub mod rules;
+pub mod semrules;
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use context::{allows, test_regions, FileContext};
+use context::Allow;
+use lexer::{TokKind, Token};
 pub use rules::{Violation, RULES};
 
 /// Directory names never descended into: external or generated code, and
@@ -45,69 +56,238 @@ pub struct Report {
     pub violations: Vec<Violation>,
 }
 
-/// Lint a single file's source, classified by its workspace-relative path.
+impl Report {
+    /// Render the findings as deterministic one-field-per-line JSON (the
+    /// same contract as `burstcap_bench::json`, re-implemented here
+    /// because the linter is dependency-free). Violations are already
+    /// sorted by (path, line, col, rule), so the output is independent of
+    /// directory-walk order.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"burstcap-lint-findings-v1\",");
+        let _ = writeln!(out, "  \"files_checked\": {},", self.files_checked);
+        let _ = writeln!(out, "  \"violations\": {},", self.violations.len());
+        out.push_str("  \"findings\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"rule\": \"{}\",", json_escape(v.rule));
+            let _ = writeln!(out, "      \"path\": \"{}\",", json_escape(&v.path));
+            let _ = writeln!(out, "      \"line\": {},", v.line);
+            let _ = writeln!(out, "      \"col\": {},", v.col);
+            let _ = writeln!(out, "      \"message\": \"{}\"", json_escape(&v.message));
+            out.push_str("    }");
+            out.push_str(if i + 1 == self.violations.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for paths and messages.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lint a set of `(workspace-relative path, source)` pairs as one
+/// workspace: lexical rules per file, then the semantic rules over the
+/// whole-set model and call graph.
 ///
 /// Suppression semantics: a justified `allow(<rule>)` marker silences that
-/// rule on its own line and on the line directly below it (covering both
-/// trailing markers and markers placed above the offending line);
+/// rule on its own line and on the line directly below it — where
+/// "directly below" skips attribute lines, so a marker placed above
+/// `#[derive(...)]` / `#[must_use]` reaches the item underneath. For a
+/// statement spanning several lines the marker covers only the reported
+/// line (put it on or directly above the line the finding names).
 /// `allow-file` silences the rule for the whole file. Markers without a
 /// justification silence nothing and are reported as `bare-allow`.
+///
+/// The returned violations are sorted by (path, line, col, rule), so the
+/// report is independent of the order of `sources`.
 #[must_use]
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
-    let ctx = FileContext::classify(rel_path);
-    let tokens = lexer::lex(src);
-    let regions = test_regions(&tokens);
-    let marks = allows(&tokens);
+pub fn lint_sources(sources: &[(String, String)]) -> Report {
+    let ws = model::build(sources);
+    let graph = callgraph::build(&ws);
 
-    let mut violations = rules::check_all(rel_path, &ctx, &tokens, &regions);
+    let mut violations = Vec::new();
+    for file in &ws.files {
+        violations.extend(rules::check_all(
+            &file.rel_path,
+            &file.ctx,
+            &file.tokens,
+            &file.regions,
+        ));
+    }
+    violations.extend(semrules::check_semantic(&ws, &graph));
+
+    // Per-file suppression state: marks + attribute-line sets.
+    let per_file: Vec<(&str, &[Allow], BTreeSet<u32>)> = ws
+        .files
+        .iter()
+        .map(|f| {
+            (
+                f.rel_path.as_str(),
+                f.marks.as_slice(),
+                attribute_lines(&f.tokens),
+            )
+        })
+        .collect();
+    let file_state = |path: &str| per_file.iter().find(|(p, _, _)| *p == path);
 
     violations.retain(|v| {
+        let Some((_, marks, attrs)) = file_state(&v.path) else {
+            return true;
+        };
         !marks.iter().any(|a| {
             a.justified
                 && a.rule == v.rule
-                && (a.file_scope || v.line == a.line || v.line == a.line + 1)
+                && (a.file_scope || v.line == a.line || v.line == covered_line(attrs, a.line))
         })
     });
 
-    for a in &marks {
-        if !a.justified {
-            violations.push(Violation {
-                rule: "bare-allow",
-                path: rel_path.to_owned(),
-                line: a.line,
-                col: a.col,
-                message: format!(
-                    "allow({}) without a justification; write `// burstcap-lint: allow({}) — <why>`",
-                    a.rule, a.rule
-                ),
-            });
-        } else if !RULES.iter().any(|r| r.name == a.rule) {
-            violations.push(Violation {
-                rule: "bare-allow",
-                path: rel_path.to_owned(),
-                line: a.line,
-                col: a.col,
-                message: format!("allow marker names unknown rule `{}`", a.rule),
-            });
+    for (path, marks, _) in &per_file {
+        for a in *marks {
+            if !a.justified {
+                violations.push(Violation {
+                    rule: "bare-allow",
+                    path: (*path).to_owned(),
+                    line: a.line,
+                    col: a.col,
+                    message: format!(
+                        "allow({}) without a justification; write `// burstcap-lint: allow({}) — <why>`",
+                        a.rule, a.rule
+                    ),
+                });
+            } else if !RULES.iter().any(|r| r.name == a.rule) {
+                violations.push(Violation {
+                    rule: "bare-allow",
+                    path: (*path).to_owned(),
+                    line: a.line,
+                    col: a.col,
+                    message: format!("allow marker names unknown rule `{}`", a.rule),
+                });
+            }
         }
     }
 
-    violations.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     violations
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Report {
+        files_checked: sources.len(),
+        violations,
+    }
+}
+
+/// Lint a single file's source, classified by its workspace-relative path.
+/// Semantic rules run over the one-file model (cross-file edges resolve
+/// only within the given file).
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    lint_sources(&[(rel_path.to_owned(), src.to_owned())]).violations
+}
+
+/// The line a marker at `line` covers below itself: the next line, with
+/// attribute lines skipped (a marker above `#[must_use]` reaches the item
+/// under the attribute).
+fn covered_line(attr_lines: &BTreeSet<u32>, line: u32) -> u32 {
+    let mut l = line + 1;
+    while attr_lines.contains(&l) {
+        l += 1;
+    }
+    l
+}
+
+/// Lines fully occupied by outer/inner attributes (`#[...]` spanning one
+/// or more lines). A line where code follows the closing `]` is *not*
+/// attribute-only (the marker must cover that code line itself).
+fn attribute_lines(tokens: &[Token]) -> BTreeSet<u32> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect();
+    let mut out = BTreeSet::new();
+    let mut last_line = 0u32;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        let first_on_line = t.line != last_line;
+        last_line = t.line;
+        if first_on_line && t.is_punct("#") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|n| n.is_punct("!")) {
+                j += 1;
+            }
+            if code.get(j).is_some_and(|n| n.is_punct("[")) {
+                let mut depth = 0usize;
+                while let Some(n) = code.get(j) {
+                    if n.is_punct("[") {
+                        depth += 1;
+                    } else if n.is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end_line = code.get(j).map_or(t.line, |n| n.line);
+                let trailing_code = code.get(j + 1).is_some_and(|n| n.line == end_line);
+                for l in t.line..=end_line {
+                    if !(trailing_code && l == end_line) {
+                        out.insert(l);
+                    }
+                }
+                last_line = end_line;
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
 }
 
 /// Lint every `.rs` file under `root` (the workspace checkout), skipping
-/// `SKIP_DIRS`. Files are visited in sorted order, so the report is
-/// deterministic.
+/// `SKIP_DIRS`. Files are read in sorted order and linted as one
+/// workspace, so the report is deterministic.
 ///
 /// # Errors
 /// Propagates filesystem errors (unreadable directories or files).
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    Ok(lint_sources(&read_workspace_sources(root)?))
+}
+
+/// Read every non-skipped `.rs` file under `root` into sorted
+/// `(workspace-relative path, source)` pairs.
+///
+/// # Errors
+/// Propagates filesystem errors (unreadable directories or files).
+pub fn read_workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
-
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for file in files {
         let src = fs::read_to_string(&file)?;
         let rel = file
@@ -115,13 +295,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        report.files_checked += 1;
-        report.violations.extend(lint_source(&rel, &src));
+        sources.push((rel, src));
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
-    Ok(report)
+    Ok(sources)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -180,6 +356,29 @@ fn f() {
     }
 
     #[test]
+    fn marker_above_attributes_reaches_the_item() {
+        let src = "\
+use std::time::Instant;
+// burstcap-lint: allow(wallclock) — marker above two attribute lines
+#[allow(dead_code)]
+#[must_use]
+fn stamped() -> Instant { Instant::now() }
+";
+        let v = lint_source("crates/core/src/x.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn attribute_line_detection_spans_multiline_attrs() {
+        let toks =
+            lexer::lex("#[cfg(\n    feature = \"x\"\n)]\nfn f() {}\n#[must_use] fn g() {}\n");
+        let attrs = attribute_lines(&toks);
+        assert!(attrs.contains(&1) && attrs.contains(&2) && attrs.contains(&3));
+        // Line 5 has code after the attribute, so it is not attribute-only.
+        assert!(!attrs.contains(&5));
+    }
+
+    #[test]
     fn bare_allow_is_a_violation_and_suppresses_nothing() {
         let src =
             "fn f() { let t = std::time::SystemTime::now(); } // burstcap-lint: allow(wallclock)\n";
@@ -206,5 +405,41 @@ fn b() { let t = std::time::Instant::now(); }
 ";
         let v = lint_source("crates/core/src/x.rs", src);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn finding_order_is_independent_of_input_order() {
+        let a = (
+            "crates/core/src/a.rs".to_owned(),
+            "fn f() { let t = std::time::SystemTime::now(); }\n".to_owned(),
+        );
+        let b = (
+            "crates/core/src/b.rs".to_owned(),
+            "fn g() { let t = std::time::SystemTime::now(); }\n".to_owned(),
+        );
+        let fwd = lint_sources(&[a.clone(), b.clone()]);
+        let rev = lint_sources(&[b, a]);
+        let key = |r: &Report| -> Vec<(String, u32, u32, &'static str)> {
+            r.violations
+                .iter()
+                .map(|v| (v.path.clone(), v.line, v.col, v.rule))
+                .collect()
+        };
+        assert_eq!(key(&fwd), key(&rev));
+        assert_eq!(fwd.render_json(), rev.render_json());
+    }
+
+    #[test]
+    fn json_rendering_is_one_field_per_line() {
+        let report = lint_sources(&[(
+            "crates/core/src/a.rs".to_owned(),
+            "fn f() { let t = std::time::SystemTime::now(); }\n".to_owned(),
+        )]);
+        let json = report.render_json();
+        assert!(json.contains("\"schema\": \"burstcap-lint-findings-v1\""));
+        assert!(json.lines().any(|l| l.trim() == "\"rule\": \"wallclock\","));
+        assert!(json.lines().any(|l| l.trim().starts_with("\"line\": ")));
+        // Deterministic across renders.
+        assert_eq!(json, report.render_json());
     }
 }

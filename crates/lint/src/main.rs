@@ -1,59 +1,100 @@
 //! CLI for `burstcap-lint`.
 //!
 //! ```text
-//! burstcap-lint check [ROOT]   lint the workspace (default: walk up from cwd)
-//! burstcap-lint rules          print the rule table
+//! burstcap-lint check [ROOT] [--format json]   lint the workspace
+//! burstcap-lint report [ROOT] [OUT]            panic-reachability matrix JSON
+//! burstcap-lint rules                          print the rule table
 //! ```
 //!
 //! `check` exits 0 on a clean tree and 1 when violations survive; CI runs
-//! it as a blocking gate.
+//! it as a blocking gate. `report` writes the deterministic
+//! panic-reachability matrix (to OUT, or stdout) that CI archives and
+//! twice-run-diffs.
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use burstcap_lint::{find_workspace_root, lint_workspace, RULES};
+use burstcap_lint::{
+    callgraph, find_workspace_root, lint_sources, model, read_workspace_sources, RULES,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("rules") => {
-            println!("{:<18} {:<44} scope", "rule", "summary");
+            println!("{:<22} {:<44} scope", "rule", "summary");
             for r in RULES {
-                println!("{:<18} {:<44} {}", r.name, r.summary, r.scope);
+                println!("{:<22} {:<44} {}", r.name, r.summary, r.scope);
             }
             ExitCode::SUCCESS
         }
-        Some("check") => check(args.get(1).map(PathBuf::from)),
+        Some("check") => {
+            let rest = &args[1..];
+            let json = rest.iter().any(|a| a == "--format=json")
+                || rest
+                    .windows(2)
+                    .any(|w| w[0] == "--format" && w[1] == "json");
+            let root = rest
+                .iter()
+                .find(|a| !a.starts_with("--") && a.as_str() != "json")
+                .map(PathBuf::from);
+            check(root, json)
+        }
+        Some("report") => {
+            let rest: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+            report(
+                rest.first().map(PathBuf::from),
+                rest.get(1).map(PathBuf::from),
+            )
+        }
         _ => {
-            eprintln!("usage: burstcap-lint check [ROOT] | burstcap-lint rules");
+            eprintln!(
+                "usage: burstcap-lint check [ROOT] [--format json] | burstcap-lint report [ROOT] [OUT] | burstcap-lint rules"
+            );
             ExitCode::from(2)
         }
     }
 }
 
-fn check(root_arg: Option<PathBuf>) -> ExitCode {
-    let root = match root_arg {
-        Some(r) => r,
-        None => {
-            let cwd = match env::current_dir() {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("burstcap-lint: cannot determine cwd: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            match find_workspace_root(&cwd) {
-                Some(r) => r,
-                None => {
-                    eprintln!("burstcap-lint: no workspace root above {}", cwd.display());
-                    return ExitCode::from(2);
-                }
-            }
+/// Resolve the root argument, falling back to the workspace above cwd.
+fn resolve_root(root_arg: Option<PathBuf>) -> Result<PathBuf, ExitCode> {
+    if let Some(r) = root_arg {
+        return Ok(r);
+    }
+    let cwd = match env::current_dir() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("burstcap-lint: cannot determine cwd: {e}");
+            return Err(ExitCode::from(2));
         }
     };
-    match lint_workspace(&root) {
-        Ok(report) => {
+    match find_workspace_root(&cwd) {
+        Some(r) => Ok(r),
+        None => {
+            eprintln!("burstcap-lint: no workspace root above {}", cwd.display());
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn check(root_arg: Option<PathBuf>, json: bool) -> ExitCode {
+    let root = match resolve_root(root_arg) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match read_workspace_sources(&root) {
+        Ok(sources) => {
+            let report = lint_sources(&sources);
+            if json {
+                print!("{}", report.render_json());
+                return if report.violations.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
             for v in &report.violations {
                 println!("{}:{}:{}: {}: {}", v.path, v.line, v.col, v.rule, v.message);
             }
@@ -71,6 +112,35 @@ fn check(root_arg: Option<PathBuf>) -> ExitCode {
                 );
                 ExitCode::FAILURE
             }
+        }
+        Err(e) => {
+            eprintln!("burstcap-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn report(root_arg: Option<PathBuf>, out: Option<PathBuf>) -> ExitCode {
+    let root = match resolve_root(root_arg) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match read_workspace_sources(&root) {
+        Ok(sources) => {
+            let ws = model::build(&sources);
+            let graph = callgraph::build(&ws);
+            let rendered = callgraph::render_report(&ws, &graph);
+            match out {
+                Some(path) => {
+                    if let Err(e) = fs::write(&path, rendered) {
+                        eprintln!("burstcap-lint: cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    println!("burstcap-lint: report written to {}", path.display());
+                }
+                None => print!("{rendered}"),
+            }
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("burstcap-lint: {e}");

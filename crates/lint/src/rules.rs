@@ -77,6 +77,26 @@ pub const RULES: &[RuleInfo] = &[
         scope: "all non-test code",
     },
     RuleInfo {
+        name: "panic-reachable-api",
+        summary: "pub lib fns that can transitively reach a panic site must document it under `# Panics`",
+        scope: "library crates (non-test), via the workspace call graph",
+    },
+    RuleInfo {
+        name: "unscoped-parallelism",
+        summary: "std::thread/Atomic*/Mutex/RwLock only inside core::experiment and qn::matfree",
+        scope: "all non-test code",
+    },
+    RuleInfo {
+        name: "swallowed-result",
+        summary: "no `let _ =` or statement-level `.ok()` discard of a workspace Result",
+        scope: "library crates (non-test)",
+    },
+    RuleInfo {
+        name: "seed-provenance",
+        summary: "a seed parameter fed raw to an RNG constructor must be derived by every caller (dataflow raw-rng)",
+        scope: "all non-test code, via the workspace call graph",
+    },
+    RuleInfo {
         name: "bare-allow",
         summary: "every allow marker must carry a written justification",
         scope: "everywhere (not suppressible)",

@@ -1,0 +1,30 @@
+// Fixture: `swallowed-result`. Discarding a workspace `Result` in lib
+// code fires; discarding infallible values or propagating doesn't.
+
+pub fn fallible() -> Result<u32, String> {
+    Ok(3)
+}
+
+pub fn infallible() -> u32 {
+    3
+}
+
+pub fn swallows() {
+    let _ = fallible(); // line 13: `let _ =` discard fires
+    fallible().ok(); // line 14: statement-level `.ok()` fires
+    let _ = infallible(); // infallible callee: clean
+    // burstcap-lint: allow(swallowed-result) — fixture: best-effort by design
+    let _ = fallible();
+}
+
+pub fn handles() -> Result<u32, String> {
+    fallible()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        let _ = super::fallible();
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: `unscoped-parallelism`. Shared-state primitives outside the
+// sanctioned seams (core::experiment, qn::matfree) fire at every mention.
+
+use std::sync::Mutex; // line 4: the import alone is a violation
+
+pub fn wild() -> u32 {
+    let h = std::thread::spawn(|| 7); // line 7: `thread` fires
+    h.join().unwrap_or(7)
+}
+
+pub fn sanctioned() -> u32 {
+    // burstcap-lint: allow(unscoped-parallelism) — fixture: audited seam extension
+    let m = Mutex::new(3);
+    m.into_inner().unwrap_or(3)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        let _ = std::thread::spawn(|| 1).join();
+    }
+}

@@ -69,7 +69,22 @@ fn lossy_state_cast_fixture() {
 fn panic_in_lib_fixture() {
     let src = include_str!("fixtures/panic_in_lib.rs");
     let got = rules_at("crates/core/src/fixture.rs", src);
-    assert_eq!(got, vec![("panic-in-lib", 4), ("panic-in-lib", 8)]);
+    // The lexical hits at 4 and 8, plus the call-graph rule at each pub
+    // entry point that can reach a panic site without a `# Panics` doc
+    // section — including `suppressed` (line 11), whose justified allow
+    // silences the lexical rule but still leaves the panic reachable.
+    // `invariant_branch` (line 20) stays clean: `unreachable!` is not a
+    // panic site.
+    assert_eq!(
+        got,
+        vec![
+            ("panic-reachable-api", 3),
+            ("panic-in-lib", 4),
+            ("panic-reachable-api", 7),
+            ("panic-in-lib", 8),
+            ("panic-reachable-api", 11),
+        ]
+    );
     // Binaries, benches, and examples are exempt from the panic rules.
     assert!(rules_at("crates/core/src/bin/tool.rs", src).is_empty());
     assert!(rules_at("crates/bench/src/fixture.rs", src).is_empty());
@@ -103,10 +118,72 @@ fn bare_allow_fixture() {
     let got = rules_at("crates/core/src/fixture.rs", src);
     // The unjustified marker is a violation AND fails to suppress the
     // panic-in-lib hit below it; the unknown rule name is also reported.
+    // Because the panic site stays unjustified and undocumented, the
+    // call-graph rule fires on the enclosing pub fn as well.
     assert_eq!(
         got,
-        vec![("bare-allow", 5), ("panic-in-lib", 6), ("bare-allow", 10),]
+        vec![
+            ("panic-reachable-api", 4),
+            ("bare-allow", 5),
+            ("panic-in-lib", 6),
+            ("bare-allow", 10),
+        ]
     );
+}
+
+#[test]
+fn panic_reachable_fixture() {
+    let src = include_str!("fixtures/panic_reachable.rs");
+    let got = rules_at("crates/core/src/fixture.rs", src);
+    // Only the undocumented entry point fires; the `# Panics` section and
+    // the justified allow discharge the other two, and the helper's own
+    // justified panic site produces no lexical hit.
+    assert_eq!(got, vec![("panic-reachable-api", 9)]);
+    // The rule is scoped to library code.
+    assert!(rules_at("crates/core/src/bin/tool.rs", src).is_empty());
+}
+
+#[test]
+fn unscoped_parallelism_fixture() {
+    let src = include_str!("fixtures/unscoped_parallelism.rs");
+    let got = rules_at("crates/stats/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![("unscoped-parallelism", 4), ("unscoped-parallelism", 7)]
+    );
+    // The same tokens inside the sanctioned seams are clean.
+    assert!(rules_at("crates/core/src/experiment.rs", src).is_empty());
+    assert!(rules_at("crates/qn/src/matfree.rs", src).is_empty());
+}
+
+#[test]
+fn swallowed_result_fixture() {
+    let src = include_str!("fixtures/swallowed_result.rs");
+    let got = rules_at("crates/online/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![("swallowed-result", 13), ("swallowed-result", 14)]
+    );
+}
+
+#[test]
+fn seed_provenance_fixture() {
+    let src = include_str!("fixtures/seed_provenance.rs");
+    let got = rules_at("crates/sim/src/fixture.rs", src);
+    // `forwards` propagates the obligation and `derived` discharges it;
+    // only `raw` injects a literal seed.
+    assert_eq!(got, vec![("seed-provenance", 23)]);
+}
+
+#[test]
+fn marker_scope_fixture() {
+    let src = include_str!("fixtures/marker_scope.rs");
+    let got = rules_at("crates/core/src/fixture.rs", src);
+    // `attributed` is covered by the marker above its attribute lines;
+    // `unprotected` is not. A marker directly above a mid-statement line
+    // covers it, but a marker above the statement head does not reach a
+    // hit two lines down.
+    assert_eq!(got, vec![("panic-reachable-api", 19), ("silent-clamp", 32)]);
 }
 
 #[test]

@@ -1,11 +1,14 @@
 //! The dogfood gate: the workspace that ships burstcap-lint must itself be
 //! lint-clean. This is the same check CI runs as a blocking step; having it
 //! in `cargo test -q` means a violation cannot land even when CI is
-//! skipped locally.
+//! skipped locally. The companion tests pin the justified-panic-site count
+//! (every new `expect` needs a deliberate decision, not just a marker) and
+//! the analysis wall-clock budget (the fixpoint must stay cheap enough to
+//! run on every commit).
 
 use std::path::Path;
 
-use burstcap_lint::lint_workspace;
+use burstcap_lint::{callgraph, lint_workspace, model, read_workspace_sources};
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -25,5 +28,51 @@ fn workspace_is_lint_clean() {
         rendered.is_empty(),
         "workspace must stay lint-clean; violations:\n{}",
         rendered.join("\n")
+    );
+}
+
+/// The PR-9 audit walked every justified panic site through the call
+/// graph: all 42 are reachable from some pub entry point and each guards a
+/// validated-input or gated-state invariant, so none could be deleted.
+/// This pin forces the same audit on any change to the set — a new
+/// justified `expect` (or a removal) must update this count deliberately.
+#[test]
+fn justified_panic_site_count_is_audited() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let sources = read_workspace_sources(&root).expect("workspace tree is readable");
+    let m = model::build(&sources);
+    let justified: Vec<String> = m
+        .panic_sites
+        .iter()
+        .filter(|s| s.justified && s.in_lib)
+        .map(|s| format!("{}:{}", s.path, s.line))
+        .collect();
+    assert_eq!(
+        justified.len(),
+        42,
+        "justified panic-site count drifted; re-run the reachability audit \
+         (`burstcap-lint report`) and re-pin. Sites:\n{}",
+        justified.join("\n")
+    );
+}
+
+/// The semantic analysis (parse + model + call-graph fixpoint over the
+/// whole workspace) must stay cheap enough to gate every commit. The
+/// budget is ~40x the measured debug-build wall time, so it only trips on
+/// a complexity regression (e.g. the fixpoint going quadratic), not on a
+/// slow machine.
+#[test]
+fn workspace_analysis_fits_the_wall_clock_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let sources = read_workspace_sources(&root).expect("workspace tree is readable");
+    let started = std::time::Instant::now();
+    let m = model::build(&sources);
+    let g = callgraph::build(&m);
+    let elapsed = started.elapsed();
+    assert!(!g.reach.is_empty());
+    assert!(
+        elapsed.as_secs_f64() < 30.0,
+        "workspace model + call graph took {:.2}s — fixpoint complexity regression?",
+        elapsed.as_secs_f64()
     );
 }

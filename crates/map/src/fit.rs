@@ -184,6 +184,12 @@ impl Map2Fitter {
     /// * [`MapError::FitInfeasible`] if no candidate lands within the `I`
     ///   tolerance band (e.g. `I < 1/2`, unreachable by any MAP(2) built on
     ///   a two-phase marginal).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (3 reachable
+    /// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn fit(&self) -> Result<FittedMap2, MapError> {
         // Opt-in floor for infeasibly low targets: rerun the search at the
         // floor and record the original request instead of clamping
@@ -402,6 +408,12 @@ fn select_candidate(candidates: &mut Vec<Candidate>, target_p95: f64) -> Option<
 ///
 /// # Errors
 /// Propagates construction errors for degenerate marginals.
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (1 reachable
+/// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn renewal_map2(marginal: Ph2) -> Result<Map2, MapError> {
     match marginal {
         Ph2::Hyper { .. } => Map2::from_hyper_marginal(marginal, 0.0),
@@ -465,6 +477,12 @@ fn h2_with_weight(m: f64, c2: f64, p: f64) -> Option<Ph2> {
 /// Propagates estimation errors (trace too short for the Figure 2 algorithm)
 /// and underdispersed traces as [`MapError::FitInfeasible`], plus fitting
 /// errors.
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (9 reachable
+/// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn fit_from_trace(
     service_times: &[f64],
     window: f64,

@@ -126,11 +126,23 @@ impl Map {
     }
 
     /// Embedded phase chain at events, `P = (-D0)^{-1} D1`.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn embedded_chain(&self) -> Vec<Vec<f64>> {
         mat_mul(&self.m_matrix(), &self.d1)
     }
 
     /// Stationary distribution of the embedded chain by power iteration.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn embedded_stationary(&self) -> Vec<f64> {
         let p = self.embedded_chain();
         let n = self.order();
@@ -168,11 +180,23 @@ impl Map {
     }
 
     /// Mean inter-event time.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn mean(&self) -> f64 {
         self.moment(1)
     }
 
     /// Squared coefficient of variation of inter-event times.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn scv(&self) -> f64 {
         let m1 = self.moment(1);
         self.moment(2) / (m1 * m1) - 1.0
@@ -181,6 +205,12 @@ impl Map {
     /// Asymptotic index of dispersion via the fundamental matrix:
     /// `I = SCV + 2 * pi M (Z - I) M 1 / m1^2` with
     /// `Z = (I - P + 1 pi)^{-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn index_of_dispersion(&self) -> f64 {
         let n = self.order();
         let p = self.embedded_chain();
@@ -228,6 +258,12 @@ pub struct GeneralSampler {
 
 impl GeneralSampler {
     /// Create a sampler starting from the embedded stationary distribution.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn new<R: Rng + ?Sized>(map: Map, rng: &mut R) -> Self {
         let pi = map.embedded_stationary();
         let u = rng.random::<f64>();

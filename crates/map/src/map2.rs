@@ -43,6 +43,12 @@ impl Map2 {
     /// * each row of `D0 + D1` sums to zero (within tolerance);
     /// * the process is irreducible (the embedded event chain must not be
     ///   absorbing in a phase that never produces events).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn new(d0: [[f64; 2]; 2], d1: [[f64; 2]; 2]) -> Result<Self, MapError> {
         for i in 0..2 {
             if !(d0[i][i] < 0.0) || !d0[i][i].is_finite() {
@@ -98,6 +104,12 @@ impl Map2 {
     ///
     /// # Errors
     /// Rejects non-positive rates.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn poisson(rate: f64) -> Result<Self, MapError> {
         if rate <= 0.0 || !rate.is_finite() {
             return Err(MapError::InvalidParameter {
@@ -127,6 +139,12 @@ impl Map2 {
     /// Rejects hypoexponential marginals (their phases are sequential, not
     /// modal) and `gamma` outside `[gamma_min, 1)` where
     /// `gamma_min = -min(p/(1-p), (1-p)/p)` keeps `D1` non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn from_hyper_marginal(marginal: Ph2, gamma: f64) -> Result<Self, MapError> {
         let Ph2::Hyper { p, rate1, rate2 } = marginal else {
             return Err(MapError::InvalidParameter {
@@ -193,6 +211,12 @@ impl Map2 {
 
     /// Embedded phase-transition matrix at event epochs,
     /// `P = (-D0)^{-1} D1` (stochastic).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn embedded_chain(&self) -> [[f64; 2]; 2] {
         let m = self.m_matrix();
         let mut p = [[0.0; 2]; 2];
@@ -206,6 +230,12 @@ impl Map2 {
 
     /// Stationary distribution of the embedded chain (phase seen just after
     /// an event).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn embedded_stationary(&self) -> [f64; 2] {
         let p = self.embedded_chain();
         // pi P = pi with pi1 + pi2 = 1 => pi1 = p21 / (p12 + p21).
@@ -222,6 +252,12 @@ impl Map2 {
 
     /// Second eigenvalue `gamma` of the embedded chain — the geometric decay
     /// rate of the autocorrelation function (`rho_k = rho_1 gamma^{k-1}`).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn gamma(&self) -> f64 {
         let p = self.embedded_chain();
         p[0][0] + p[1][1] - 1.0
@@ -251,22 +287,46 @@ impl Map2 {
 
     /// Mean inter-event time (mean service time when the MAP models a
     /// service process).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn mean(&self) -> f64 {
         self.moment(1)
     }
 
     /// Stationary event rate (`1 / mean`).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn rate(&self) -> f64 {
         1.0 / self.mean()
     }
 
     /// Variance of the stationary inter-event time.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn variance(&self) -> f64 {
         let m1 = self.moment(1);
         self.moment(2) - m1 * m1
     }
 
     /// Squared coefficient of variation of inter-event times.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn scv(&self) -> f64 {
         let m1 = self.moment(1);
         self.variance() / (m1 * m1)
@@ -274,6 +334,12 @@ impl Map2 {
 
     /// Lag-k autocorrelation coefficient of inter-event times:
     /// `rho_k = (pi M P^k M 1 - m1^2) / Var`.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn lag_correlation(&self, k: u32) -> f64 {
         if k == 0 {
             return 1.0;
@@ -283,6 +349,12 @@ impl Map2 {
     }
 
     /// Lag-1 autocorrelation coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn lag1_correlation(&self) -> f64 {
         let pi = self.embedded_stationary();
         let m = self.m_matrix();
@@ -312,6 +384,12 @@ impl Map2 {
     ///
     /// For a Poisson process this is exactly 1; values in the hundreds signal
     /// strong burstiness (paper, Section 2.1).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn index_of_dispersion(&self) -> f64 {
         let g = self.gamma();
         let scv = self.scv();
@@ -330,6 +408,12 @@ impl Map2 {
 
     /// CDF of the stationary inter-event time:
     /// `F(x) = 1 - pi exp(D0 x) 1`.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn interval_cdf(&self, x: f64) -> f64 {
         if x <= 0.0 {
             return 0.0;
@@ -347,6 +431,12 @@ impl Map2 {
     ///
     /// # Errors
     /// Rejects `q` outside `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn quantile(&self, q: f64) -> Result<f64, MapError> {
         if !(q > 0.0 && q < 1.0) {
             return Err(MapError::InvalidParameter {
@@ -385,6 +475,12 @@ impl Map2 {
     ///
     /// # Errors
     /// Rejects non-positive target means.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn with_mean(&self, mean: f64) -> Result<Self, MapError> {
         if mean <= 0.0 || !mean.is_finite() {
             return Err(MapError::InvalidParameter {

@@ -134,12 +134,24 @@ impl Ph2 {
     }
 
     /// Variance.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn variance(&self) -> f64 {
         let m = self.mean();
         self.second_moment() - m * m
     }
 
     /// Squared coefficient of variation.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn scv(&self) -> f64 {
         let m = self.mean();
         self.variance() / (m * m)
@@ -173,6 +185,12 @@ impl Ph2 {
     /// Rejects `q` outside `(0, 1)`; returns [`MapError::NoConvergence`] only
     /// if bisection exhausts its iteration budget (practically unreachable
     /// for these smooth CDFs).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn quantile(&self, q: f64) -> Result<f64, MapError> {
         if !(q > 0.0 && q < 1.0) {
             return Err(MapError::InvalidParameter {

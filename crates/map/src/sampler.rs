@@ -36,6 +36,12 @@ pub struct MapSampler {
 
 impl MapSampler {
     /// Create a sampler starting from the stationary phase distribution.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn new<R: Rng + ?Sized>(map: Map2, rng: &mut R) -> Self {
         let pi = map.embedded_stationary();
         let phase = usize::from(rng.random::<f64>() >= pi[0]);

@@ -67,6 +67,12 @@ pub fn hyperexp_trace(n: usize, mean: f64, scv: f64, seed: u64) -> Result<Vec<f6
 /// assert_eq!(bursty, sorted); // same multiset, maximal clustering
 /// # Ok::<(), burstcap_map::MapError>(())
 /// ```
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (2 reachable
+/// panic sites, e.g. `crates/map/src/trace.rs:141`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn impose_burstiness(
     samples: &[f64],
     profile: BurstProfile,
@@ -161,6 +167,12 @@ fn modulated_order(samples: &[f64], p_small: f64, gamma: f64, rng: &mut SmallRng
 /// # Errors
 /// Rejects targets below the marginal's SCV (reordering cannot reduce `I`
 /// below the i.i.d. level) and invalid marginals.
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (2 reachable
+/// panic sites, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn gamma_for_target_dispersion(mean: f64, scv: f64, target_i: f64) -> Result<f64, MapError> {
     if target_i < scv {
         return Err(MapError::FitInfeasible {

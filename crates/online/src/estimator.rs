@@ -89,6 +89,12 @@ impl TierEstimator {
     /// # Errors
     /// Rejects invalid samples (utilization outside `[0, 1]`); the window
     /// is not ingested by any of the estimators.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (3 reachable
+    /// panic sites, e.g. `crates/stats/src/streaming.rs:317`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn push(&mut self, sample: &TierSample) -> Result<(), OnlineError> {
         // Validate once up front so a bad sample cannot leave the three
         // estimators out of sync.
@@ -115,6 +121,12 @@ impl TierEstimator {
     /// # Errors
     /// Propagates estimator failures (stream too short for the Figure 2
     /// levels, no completions yet, ...).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (5 reachable
+    /// panic sites, e.g. `crates/stats/src/streaming.rs:419`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn characterize(&self) -> Result<ServiceCharacterization, OnlineError> {
         let demand = self.demand.estimate()?;
         let dispersion = self.dispersion.estimate()?;

@@ -245,6 +245,12 @@ impl OnlinePlanner {
     /// # Errors
     /// Rejects windows with the wrong tier count or invalid samples;
     /// propagates solver failures.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (15 reachable
+    /// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn ingest(&mut self, window: &MonitorWindow) -> Result<Option<OnlineReport>, OnlineError> {
         if window.tiers.len() != self.tiers.len() {
             return Err(OnlineError::InvalidWindow {
@@ -491,6 +497,12 @@ impl OnlinePlanner {
     /// # Errors
     /// Rejects a source whose shape (resolution, tier count) differs from
     /// the planner's; propagates ingestion errors.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (15 reachable
+    /// panic sites, e.g. `crates/map/src/fit.rs:305`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn drain(
         &mut self,
         source: &mut impl WindowSource,

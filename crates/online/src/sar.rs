@@ -61,6 +61,12 @@ impl SarTextSource {
     /// Rejects a missing or invalid `# resolution:` directive, malformed
     /// numbers, utilizations outside `[0, 1]` after normalization, odd token
     /// counts, inconsistent tier counts, and feeds without data lines.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (3 reachable
+    /// panic sites, e.g. `crates/stats/src/streaming.rs:317`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn parse(text: &str) -> Result<Self, OnlineError> {
         let mut resolution: Option<f64> = None;
         let mut tier_count: Option<usize> = None;

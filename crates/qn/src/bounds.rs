@@ -35,6 +35,12 @@ pub struct ThroughputBounds {
 /// assert!(b.upper <= 100.0 + 1e-9); // bottleneck limits to 1/0.01
 /// # Ok::<(), burstcap_qn::QnError>(())
 /// ```
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (2 reachable
+/// panic sites, e.g. `crates/qn/src/bounds.rs:74`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn throughput_bounds(
     demands: &[f64],
     think_time: f64,
@@ -89,6 +95,12 @@ pub fn throughput_bounds(
 ///
 /// # Errors
 /// Same domain as [`throughput_bounds`].
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (2 reachable
+/// panic sites, e.g. `crates/qn/src/bounds.rs:74`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn saturation_population(demands: &[f64], think_time: f64) -> Result<f64, QnError> {
     let b = throughput_bounds(demands, think_time, 1)?;
     let _ = b;

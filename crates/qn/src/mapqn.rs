@@ -868,6 +868,12 @@ impl MapNetwork {
     /// assert!((sparse.throughput - oracle.throughput).abs() < 1e-6);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/qn/src/ctmc.rs:520`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn solve_iterative(&self, method: SteadyStateMethod) -> Result<MapQnSolution, QnError> {
         self.check_state_limit()?;
         let idx = self.indexer()?;
@@ -910,6 +916,12 @@ impl MapNetwork {
     /// assert!((sparse.throughput - direct.throughput).abs() / direct.throughput < 1e-8);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/qn/src/ctmc.rs:520`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn solve_sparse(&self) -> Result<MapQnSolution, QnError> {
         // A cold solve is exactly the warm-startable path without a guess;
         // one place owns the production tuning.
@@ -951,6 +963,12 @@ impl MapNetwork {
     /// assert!((warm.throughput - cold.throughput).abs() / cold.throughput < 0.05);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/qn/src/ctmc.rs:520`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn solve_sparse_with_initial(
         &self,
         guess: Option<Vec<f64>>,
@@ -1111,6 +1129,12 @@ impl MapNetwork {
     /// assert!((auto.throughput - forced_sparse.throughput).abs() / auto.throughput < 1e-8);
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/qn/src/ctmc.rs:520`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn solve_auto(&self, sparse_above_states: usize) -> Result<MapQnSolution, QnError> {
         Ok(self.solve_auto_with_initial(sparse_above_states, None)?.0)
     }
@@ -1124,6 +1148,12 @@ impl MapNetwork {
     /// # Errors
     /// As [`MapNetwork::solve_auto`], plus rejection of wrong-length
     /// guesses.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/qn/src/ctmc.rs:520`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn solve_auto_with_initial(
         &self,
         sparse_above_states: usize,

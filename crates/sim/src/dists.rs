@@ -79,6 +79,12 @@ impl Dist {
     }
 
     /// Mean of the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn mean(&self) -> f64 {
         match *self {
             Dist::Exponential { rate } => 1.0 / rate,

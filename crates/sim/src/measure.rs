@@ -192,6 +192,12 @@ impl ResponseTally {
     }
 
     /// Record one response time.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/stats/src/streaming.rs:571`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn record(&mut self, value: f64) {
         self.stats.push(value);
         self.samples.push(value);
@@ -206,6 +212,12 @@ impl ResponseTally {
     ///
     /// # Errors
     /// Fails when no observation was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn mean(&self) -> Result<f64, SimError> {
         self.stats.mean().ok_or(SimError::NoObservations {
             what: "response times",

@@ -124,6 +124,12 @@ impl MTrace1 {
     /// # Errors
     /// Never fails for a validated queue; the `Result` mirrors the
     /// fallibility of response summarization.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn run(&self, seed: u64) -> Result<MTrace1Result, SimError> {
         let mean_service = self.trace.iter().sum::<f64>() / self.trace.len() as f64;
         let lambda = self.rho / mean_service;
@@ -396,6 +402,12 @@ impl ClosedMapNetwork {
     /// # Errors
     /// Rejects a non-positive measurement interval or a run with no
     /// completions.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn run(&self, horizon: f64, warmup: f64, seed: u64) -> Result<ClosedRunResult, SimError> {
         if !(horizon.is_finite() && warmup >= 0.0 && horizon > warmup) {
             return Err(SimError::InvalidParameter {

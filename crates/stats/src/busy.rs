@@ -58,6 +58,12 @@ pub struct BusyPeriod {
 /// # Errors
 /// Rejects mismatched series lengths, invalid utilizations, and thresholds
 /// outside `[0, 1)`.
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (1 reachable
+/// panic site, e.g. `crates/stats/src/streaming.rs:571`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn busy_periods(
     utilization: &[f64],
     completions: &[u64],
@@ -163,6 +169,12 @@ impl ServicePercentileEstimator {
     /// # Errors
     /// Rejects mismatched lengths, invalid utilizations/quantiles, and traces
     /// in which no window has completions.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/stats/src/streaming.rs:571`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn estimate(
         &self,
         utilization: &[f64],

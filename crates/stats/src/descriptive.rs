@@ -173,6 +173,12 @@ impl Summary {
     /// # Errors
     /// Returns an error if the sample is empty or has zero mean (SCV
     /// undefined).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/stats/src/descriptive.rs:195`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn from_slice(data: &[f64]) -> Result<Self, StatsError> {
         let m = mean(data)?;
         let var = variance(data)?;

@@ -206,6 +206,12 @@ impl DispersionEstimator {
     ///   has fewer than the required windows (or, in strict mode, if any
     ///   level does before convergence).
     /// * [`StatsError::Degenerate`] if no request ever completes.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (6 reachable
+    /// panic sites, e.g. `crates/stats/src/dispersion.rs:268`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn estimate(
         &self,
         utilization: &[f64],
@@ -345,6 +351,12 @@ impl DispersionEstimator {
 /// can in principle differ from the naive rescan by one ulp of rounding on
 /// adversarial inputs; the equivalence tests pin exact agreement on
 /// realistic (including long random) traces.
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (2 reachable
+/// panic sites, e.g. `crates/stats/src/dispersion.rs:356`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn aggregate_counts(busy: &[f64], completions: &[u64], t: f64) -> Vec<f64> {
     let k_max = busy.len();
     // Exact prefix sums of the integer completion counts: count of window
@@ -379,6 +391,12 @@ pub fn aggregate_counts(busy: &[f64], completions: &[u64], t: f64) -> Vec<f64> {
 /// The original `O(n * w)` reference implementation of
 /// [`aggregate_counts`]: rescans forward from every starting window.
 /// Retained for exact-equivalence tests and as the benchmark baseline.
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (1 reachable
+/// panic site, e.g. `crates/stats/src/streaming.rs:571`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 #[doc(hidden)]
 pub fn aggregate_counts_naive(busy: &[f64], completions: &[u64], t: f64) -> Vec<f64> {
     let k_max = busy.len();
@@ -419,6 +437,12 @@ pub fn aggregate_counts_naive(busy: &[f64], completions: &[u64], t: f64) -> Vec<
 /// # Errors
 /// Propagates estimator errors; additionally rejects non-positive `window`
 /// or non-positive service times.
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (6 reachable
+/// panic sites, e.g. `crates/stats/src/dispersion.rs:268`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn index_of_dispersion_counting(
     service_times: &[f64],
     window: f64,

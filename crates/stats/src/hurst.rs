@@ -52,6 +52,12 @@ pub struct HurstEstimate {
 /// assert!(est.h < 0.6, "H = {}", est.h);
 /// # Ok::<(), burstcap_stats::StatsError>(())
 /// ```
+///
+/// # Panics
+///
+/// Only if a justified internal invariant is violated (1 reachable
+/// panic site, e.g. `crates/stats/src/streaming.rs:571`; `burstcap-lint report` lists them),
+/// never for inputs this API accepts.
 pub fn hurst_variance_time(series: &[f64]) -> Result<HurstEstimate, StatsError> {
     if series.len() < 100 {
         return Err(StatsError::TraceTooShort {

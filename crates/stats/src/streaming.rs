@@ -295,6 +295,12 @@ impl StreamingDispersion {
     /// # Errors
     /// Rejects utilizations outside `[0, 1]` (including NaN); the window is
     /// not ingested.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (3 reachable
+    /// panic sites, e.g. `crates/stats/src/streaming.rs:317`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn push(&mut self, utilization: f64, completions: u64) -> Result<(), StatsError> {
         check_utilization(utilization)?;
         if self.levels.is_empty() {
@@ -391,6 +397,12 @@ impl StreamingDispersion {
     /// Mirrors the batch estimator: invalid tolerance, no completions, first
     /// level short of `min_windows` (or any level, in strict mode), zero
     /// mean count, strict-mode non-convergence.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (3 reachable
+    /// panic sites, e.g. `crates/stats/src/streaming.rs:419`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn estimate(&self) -> Result<DispersionEstimate, StatsError> {
         if self.tolerance <= 0.0 {
             return Err(StatsError::InvalidParameter {
@@ -540,6 +552,12 @@ impl P2Quantile {
 
     /// Ingest one observation. NaN observations are ignored (they carry no
     /// order information).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/stats/src/streaming.rs:571`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn push(&mut self, x: f64) {
         if x.is_nan() {
             return;
@@ -696,6 +714,12 @@ impl StreamingServicePercentile {
     ///
     /// # Errors
     /// Rejects utilizations outside `[0, 1]` (including NaN).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/stats/src/streaming.rs:571`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn push(&mut self, utilization: f64, completions: u64) -> Result<(), StatsError> {
         check_utilization(utilization)?;
         if completions == 0 {
@@ -714,6 +738,12 @@ impl StreamingServicePercentile {
     ///
     /// # Errors
     /// Degenerate if no window with completions was ingested yet.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/stats/src/streaming.rs:724`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn estimate(&self) -> Result<BusyTimeCharacterization, StatsError> {
         if self.busy_windows == 0 || self.total_completions == 0 {
             return Err(StatsError::Degenerate {

@@ -75,6 +75,12 @@ impl Mix {
 
     /// Draw the next transaction type given the current one, following the
     /// CBMG `P = persistence * I + (1 - persistence) * stationary`.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/tpcw/src/mix.rs:109`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn next_transaction<R: Rng + ?Sized>(self, current: TxType, rng: &mut R) -> TxType {
         if rng.random::<f64>() < PERSISTENCE {
             return current;
@@ -84,6 +90,12 @@ impl Mix {
 
     /// Draw a transaction type from the stationary mix (used for the first
     /// transaction of a session, which TPC-W starts at Home; we expose both).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/tpcw/src/mix.rs:97`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn sample_stationary<R: Rng + ?Sized>(self, rng: &mut R) -> TxType {
         let w = self.weights();
         let mut u = rng.random::<f64>();

@@ -288,6 +288,12 @@ impl Testbed {
     ///
     /// # Errors
     /// Fails if the measured interval contains no completed transaction.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (11 reachable
+    /// panic sites, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn run(&self) -> Result<TestbedRun, TpcwError> {
         self.replication(0)
     }
@@ -302,6 +308,12 @@ impl Testbed {
     ///
     /// # Errors
     /// Fails if the measured interval contains no completed transaction.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (11 reachable
+    /// panic sites, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn replication(&self, index: u64) -> Result<TestbedRun, TpcwError> {
         let cfg = &self.config;
         let mut rng =
@@ -653,6 +665,12 @@ impl Testbed {
     ///
     /// # Errors
     /// Rejects `r = 0`; propagates the first failing replication.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (11 reachable
+    /// panic sites, e.g. `crates/map/src/general.rs:102`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn replications(&self, r: usize) -> Result<Vec<TestbedRun>, TpcwError> {
         if r == 0 {
             return Err(TpcwError::InvalidParameter {

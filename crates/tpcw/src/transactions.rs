@@ -61,6 +61,12 @@ pub const ALL_TYPES: [TxType; 14] = [
 
 impl TxType {
     /// Index of this type in [`ALL_TYPES`] (stable across the workspace).
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/tpcw/src/transactions.rs:69`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
     pub fn index(self) -> usize {
         ALL_TYPES
             .iter()
