@@ -22,7 +22,10 @@ fn main() {
 
 /// How sensitive is the Figure 2 estimate to the stopping tolerance?
 fn ablation_tolerance() {
-    header("Ablation 1: Figure 2 stopping tolerance (browsing DB trace)");
+    println!(
+        "{}",
+        header("Ablation 1: Figure 2 stopping tolerance (browsing DB trace)")
+    );
     let run = Testbed::new(
         TestbedConfig::new(Mix::Browsing, 50)
             .think_time(7.0)
@@ -58,7 +61,10 @@ fn ablation_tolerance() {
 
 /// Does the closest-p95 selection rule matter, or would largest-rho1 do?
 fn ablation_selection() {
-    header("Ablation 2: candidate selection rule (mean 1, I = 100)");
+    println!(
+        "{}",
+        header("Ablation 2: candidate selection rule (mean 1, I = 100)")
+    );
     println!(
         "{:>8} {:>14} {:>14} {:>10} {:>10}",
         "p95*", "p95(closest)", "p95(max-rho1)", "scv(c)", "scv(r)"
@@ -87,7 +93,10 @@ fn ablation_selection() {
 /// well-predicted by plain MVA — evidence the testbed's misbehaviour is
 /// caused by the injected mechanism, not an artifact.
 fn ablation_contention_off() {
-    header("Ablation 3: contention disabled (browsing mix)");
+    println!(
+        "{}",
+        header("Ablation 3: contention disabled (browsing mix)")
+    );
     println!(
         "{:>6} {:>12} {:>12} {:>10} {:>10}",
         "EBs", "TPUT(on)", "TPUT(off)", "Udb(on)", "Udb(off)"

@@ -31,6 +31,7 @@ use burstcap_bench::timing::Stopwatch;
 
 use burstcap_bench::json::{JsonObject, JsonValue};
 use burstcap_map::fit::Map2Fitter;
+use burstcap_obs::Recorder;
 use burstcap_qn::ctmc::SteadyStateMethod;
 use burstcap_qn::mapqn::{MapNetwork, MapQnSolution};
 use burstcap_qn::QnError;
@@ -72,6 +73,10 @@ struct FrontierPoint {
     states: usize,
     matfree_ms: f64,
     iterations: usize,
+    sweeps_matrix_free: usize,
+    final_residual: f64,
+    trace_id: u64,
+    trace_events: usize,
     throughput: f64,
     matfree_peak_bytes: usize,
     csr_ms: Option<f64>,
@@ -162,7 +167,10 @@ fn main() {
         });
     };
 
-    burstcap_bench::header("bench_baseline: dense LU vs sparse CSR engine");
+    println!(
+        "{}",
+        burstcap_bench::header("bench_baseline: dense LU vs sparse CSR engine")
+    );
     let mut dense_at_largest = 0.0;
     let mut sparse_at_largest = 0.0;
     let mut agreement = 0.0;
@@ -192,7 +200,10 @@ fn main() {
         }
     }
 
-    burstcap_bench::header("bench_baseline: sparse engine beyond dense reach");
+    println!(
+        "{}",
+        burstcap_bench::header("bench_baseline: sparse engine beyond dense reach")
+    );
     for &pop in &SPARSE_POPS {
         let net = MapNetwork::new(pop, think, front, db).expect("valid network");
         let (gs_ms, gs_x) = median_ms(reps, || net.solve_sparse());
@@ -211,7 +222,10 @@ fn main() {
         );
     }
 
-    burstcap_bench::header("bench_baseline: station-count x population scaling (solve_auto)");
+    println!(
+        "{}",
+        burstcap_bench::header("bench_baseline: station-count x population scaling (solve_auto)")
+    );
     // A light extra tier reused for every station beyond the front/db pair,
     // so tandems of different length stay comparable.
     let extra = Map2Fitter::new(0.004, 4.0, 0.012)
@@ -244,7 +258,12 @@ fn main() {
         }
     }
 
-    burstcap_bench::header("bench_baseline: matrix-free frontier (states vs wall-clock / memory)");
+    println!(
+        "{}",
+        burstcap_bench::header(
+            "bench_baseline: matrix-free frontier (states vs wall-clock / memory)"
+        )
+    );
     // Single-shot timings: these are the longest solves in the suite, and the
     // point of the sweep is the states-vs-cost shape, not median stability.
     let frontier_grid: &[(usize, usize)] = if fast {
@@ -262,9 +281,16 @@ fn main() {
         stations.push(db);
         let net = MapNetwork::tandem(pop, think, stations).expect("valid network");
         let states = net.state_count();
+        // Frontier solves run traced so the row mirrors the solver's own
+        // diagnostics (residual, sweep split, span link) next to the
+        // wall-clock figures; bench_obs pins the recorder's cost as <3%.
+        let recorder = Recorder::new();
         let t0 = Stopwatch::start();
-        let sol = net.solve_matrix_free(0).expect("matrix-free solve");
+        let (sol, _pi) = net
+            .solve_matrix_free_with_initial_traced(0, None, &recorder.trace())
+            .expect("matrix-free solve");
         let matfree_ms = t0.elapsed_ms();
+        let trace_events = recorder.events().iter().filter(|e| !e.volatile).count();
         let matfree_peak_bytes = states * 8 * 3;
         let (csr_ms, csr_nnz, rel_gap) = if states <= CSR_CROSSCHECK_MAX_STATES {
             let nnz = net.outgoing_csr().expect("assembles").nnz();
@@ -319,6 +345,10 @@ fn main() {
             states,
             matfree_ms,
             iterations: sol.diagnostics.iterations,
+            sweeps_matrix_free: sol.diagnostics.sweeps_per_engine.matrix_free,
+            final_residual: sol.diagnostics.final_residual,
+            trace_id: sol.diagnostics.trace_id,
+            trace_events,
             throughput: sol.throughput,
             matfree_peak_bytes,
             csr_ms,
@@ -359,6 +389,10 @@ fn main() {
                 .field("method", "matrix_free_jacobi")
                 .field("matfree_ms", JsonValue::f(p.matfree_ms, 3))
                 .field("iterations", p.iterations)
+                .field("sweeps_matrix_free", p.sweeps_matrix_free)
+                .field("final_residual", JsonValue::sci(p.final_residual, 3))
+                .field("trace_id", p.trace_id)
+                .field("trace_events", p.trace_events)
                 .field("throughput", JsonValue::f(p.throughput, 6))
                 .field("matfree_peak_bytes", p.matfree_peak_bytes)
                 .field("csr_peak_bytes", p.csr_peak_bytes)
@@ -420,4 +454,5 @@ fn main() {
         .field("results", rows)
         .field("frontier_points", frontier_rows);
     burstcap_bench::json::write_report(&out_path, &report);
+    println!("wrote {out_path}");
 }

@@ -82,9 +82,12 @@ fn main() {
     };
     let mut planner = OnlinePlanner::new(resolution, 2, options).expect("valid planner");
 
-    burstcap_bench::header(&format!(
-        "bench_online: {total_windows} windows ({shift_window} stable, then heavy contention)"
-    ));
+    println!(
+        "{}",
+        burstcap_bench::header(&format!(
+            "bench_online: {total_windows} windows ({shift_window} stable, then heavy contention)"
+        ))
+    );
     let t0 = Stopwatch::start();
     let reports = planner.drain(&mut feed).expect("stream ingests end to end");
     let ingest_ms = t0.elapsed_ms();
@@ -241,4 +244,5 @@ fn main() {
                 .field("warm_speedup", JsonValue::f(cold_ms / warm_ms, 2)),
         );
     burstcap_bench::json::write_report(&out_path, &report);
+    println!("wrote {out_path}");
 }

@@ -107,11 +107,14 @@ fn main() {
         }
     }
 
-    burstcap_bench::header(&format!(
-        "bench_replications: {} scenarios x {replications} replications, \
+    println!(
+        "{}",
+        burstcap_bench::header(&format!(
+            "bench_replications: {} scenarios x {replications} replications, \
          serial fold vs {workers} workers",
-        scenarios.len()
-    ));
+            scenarios.len()
+        ))
+    );
 
     let mut rows: Vec<Row> = Vec::new();
     let mut serial_total = 0.0;
@@ -241,4 +244,5 @@ fn main() {
         .field("speedup", JsonValue::f(speedup, 3))
         .field("scenarios", scenarios);
     burstcap_bench::json::write_report(&out_path, &report);
+    println!("wrote {out_path}");
 }

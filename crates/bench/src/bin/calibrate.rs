@@ -16,11 +16,14 @@ fn main() {
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(300.0);
     for mix in Mix::ALL {
-        header(&format!(
-            "{mix} mix (D_fs = {:.2} ms, D_db = {:.2} ms uncontended)",
-            mix.mean_front_demand() * 1e3,
-            mix.mean_db_demand() * 1e3
-        ));
+        println!(
+            "{}",
+            header(&format!(
+                "{mix} mix (D_fs = {:.2} ms, D_db = {:.2} ms uncontended)",
+                mix.mean_front_demand() * 1e3,
+                mix.mean_db_demand() * 1e3
+            ))
+        );
         println!(
             "{}",
             row(

@@ -217,15 +217,15 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Write a rendered snapshot to `path` and announce it on stdout — the
-/// shared tail of every bench binary.
+/// Write a rendered snapshot to `path` — the shared tail of every bench
+/// binary. Announcing the path on stdout is the caller's job (library code
+/// keeps off stdout — see the `stray-print` rule).
 ///
 /// # Panics
 /// Panics if the file cannot be written (bench binaries treat an unwritable
 /// snapshot as fatal).
 pub fn write_report(path: &str, report: &JsonObject) {
     std::fs::write(path, report.render()).expect("write benchmark snapshot");
-    println!("wrote {path}");
 }
 
 #[cfg(test)]

@@ -64,9 +64,11 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
-/// Print a section header for experiment output.
-pub fn header(title: &str) {
-    println!("\n=== {title} ===");
+/// Render a section header for experiment output; the binary owns the
+/// printing (library code keeps off stdout — see the `stray-print` rule).
+#[must_use]
+pub fn header(title: &str) -> String {
+    format!("\n=== {title} ===")
 }
 
 pub mod figures;

@@ -45,6 +45,7 @@
 
 use std::ops::Range;
 
+use burstcap_obs::Trace;
 use burstcap_sim::seeds;
 use burstcap_stats::ci::{mean_ci, ConfidenceInterval, RelativePrecision};
 
@@ -163,7 +164,7 @@ impl Replications {
     /// # Panics
     ///
     /// Only if a justified internal invariant is violated (2 reachable
-    /// panic sites, e.g. `crates/core/src/experiment.rs:213`; `burstcap-lint report` lists them),
+    /// panic sites, e.g. `crates/core/src/experiment.rs:260`; `burstcap-lint report` lists them),
     /// never for inputs this API accepts.
     pub fn run<T, E, F>(&self, scenario: F) -> Result<Vec<T>, E>
     where
@@ -171,7 +172,56 @@ impl Replications {
         T: Send,
         E: Send,
     {
-        self.run_range(0..self.count as u64, &scenario)
+        self.run_traced(scenario, &Trace::noop())
+    }
+
+    /// [`Replications::run`] under an observability trace: the whole fold
+    /// runs inside an `experiment.run` span, and each replication gets an
+    /// `experiment.replication` span carrying its index and derived seed.
+    ///
+    /// Replication spans are emitted serially *after* the (possibly
+    /// parallel) fold, in replication order — the recorded trace is a pure
+    /// function of the plan, never of worker count or scheduling. The
+    /// worker count appears only as a volatile `experiment.workers` event,
+    /// which the deterministic export excludes.
+    ///
+    /// # Errors
+    /// Propagates the lowest-indexed scenario error.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/core/src/experiment.rs:260`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
+    pub fn run_traced<T, E, F>(&self, scenario: F, trace: &Trace) -> Result<Vec<T>, E>
+    where
+        F: Fn(Replication) -> Result<T, E> + Sync,
+        T: Send,
+        E: Send,
+    {
+        let _span = trace.span_with(
+            "experiment.run",
+            vec![
+                ("replications", self.count.into()),
+                ("master_seed", self.master_seed.into()),
+                ("stream", self.stream.into()),
+            ],
+        );
+        trace.volatile_event("experiment.workers", vec![("workers", self.workers.into())]);
+        let outputs = self.run_range(0..self.count as u64, &scenario)?;
+        if trace.is_enabled() {
+            for index in 0..self.count as u64 {
+                let _rep = trace.span_with(
+                    "experiment.replication",
+                    vec![
+                        ("index", index.into()),
+                        ("seed", self.seed_of(index).into()),
+                    ],
+                );
+            }
+            trace.add("experiment.replications", self.count as u64);
+        }
+        Ok(outputs)
     }
 
     /// Execute replications `range` of the plan (used by the sequential
@@ -300,7 +350,7 @@ impl Experiment {
     /// # Panics
     ///
     /// Only if a justified internal invariant is violated (4 reachable
-    /// panic sites, e.g. `crates/core/src/experiment.rs:213`; `burstcap-lint report` lists them),
+    /// panic sites, e.g. `crates/core/src/experiment.rs:260`; `burstcap-lint report` lists them),
     /// never for inputs this API accepts.
     pub fn run<T, E, F>(&self, scenario: F) -> Result<ExperimentResult<T>, E>
     where
@@ -310,6 +360,30 @@ impl Experiment {
     {
         Ok(ExperimentResult {
             outputs: self.plan.run(scenario)?,
+            confidence: self.confidence,
+        })
+    }
+
+    /// [`Experiment::run`] under an observability trace (see
+    /// [`Replications::run_traced`] for the span layout and the
+    /// determinism contract of the recorded events).
+    ///
+    /// # Errors
+    /// Propagates the lowest-indexed scenario error.
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (2 reachable
+    /// panic sites, e.g. `crates/core/src/experiment.rs:260`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
+    pub fn run_traced<T, E, F>(&self, scenario: F, trace: &Trace) -> Result<ExperimentResult<T>, E>
+    where
+        F: Fn(Replication) -> Result<T, E> + Sync,
+        T: Send,
+        E: Send,
+    {
+        Ok(ExperimentResult {
+            outputs: self.plan.run_traced(scenario, trace)?,
             confidence: self.confidence,
         })
     }
@@ -327,7 +401,7 @@ impl Experiment {
     /// # Panics
     ///
     /// Only if a justified internal invariant is violated (3 reachable
-    /// panic sites, e.g. `crates/core/src/experiment.rs:213`; `burstcap-lint report` lists them),
+    /// panic sites, e.g. `crates/core/src/experiment.rs:260`; `burstcap-lint report` lists them),
     /// never for inputs this API accepts.
     pub fn run_until<T, E, F>(
         &self,
@@ -468,6 +542,35 @@ mod tests {
                 assert_eq!(s.utilization_db.to_bits(), p.utilization_db.to_bits());
                 assert_eq!(s.mean_jobs_front.to_bits(), p.mean_jobs_front.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_across_worker_counts() {
+        // The observability contract on top of the determinism contract:
+        // the deterministic trace export must not depend on worker count.
+        use burstcap_obs::Recorder;
+
+        let net = toy_network();
+        let trace_of = |workers: usize| {
+            let recorder = Recorder::new();
+            Replications::new(5)
+                .unwrap()
+                .master_seed(33)
+                .workers(workers)
+                .run_traced(|rep| run_net(&net, rep), &recorder.trace())
+                .unwrap();
+            recorder.deterministic_json()
+        };
+        let serial = trace_of(1);
+        assert!(serial.contains("experiment.run"));
+        assert!(serial.contains("experiment.replication"));
+        assert!(
+            !serial.contains("experiment.workers"),
+            "worker count is volatile and must not reach the deterministic export"
+        );
+        for workers in [2, 3, 8] {
+            assert_eq!(serial, trace_of(workers));
         }
     }
 

@@ -54,7 +54,12 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "unordered-iter",
         summary: "no HashMap/HashSet in deterministic-output crates",
-        scope: "crates qn, stats, online, bench (non-test)",
+        scope: "crates qn, stats, online, bench, obs (non-test)",
+    },
+    RuleInfo {
+        name: "stray-print",
+        summary: "no println!/eprintln!/print!/eprint!/dbg! outside binary targets; return the text or trace it",
+        scope: "library code, including the bench crate's lib (non-test)",
     },
     RuleInfo {
         name: "lossy-state-cast",
@@ -83,7 +88,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "unscoped-parallelism",
-        summary: "std::thread/Atomic*/Mutex/RwLock only inside core::experiment and qn::matfree",
+        summary: "std::thread/Atomic*/Mutex/RwLock only inside core::experiment, qn::matfree, and obs::recorder",
         scope: "all non-test code",
     },
     RuleInfo {
@@ -105,7 +110,7 @@ pub const RULES: &[RuleInfo] = &[
 
 /// Crates whose outputs are asserted bit-identical across runs in CI, so
 /// unordered iteration anywhere near them is a determinism hazard.
-const DETERMINISTIC_OUTPUT_CRATES: &[&str] = &["qn", "stats", "online", "bench"];
+const DETERMINISTIC_OUTPUT_CRATES: &[&str] = &["qn", "stats", "online", "bench", "obs"];
 
 /// Integer target types of a lossy `as` cast.
 const INT_CAST_TARGETS: &[&str] = &[
@@ -144,6 +149,15 @@ pub fn check_all(
     }
     if ctx.kind == FileKind::Lib {
         panic_in_lib(path, &code, &live, &mut v);
+    }
+    // Bench *bins* narrate to stdout by design; the bench lib (timing,
+    // scenarios, report writers) is library code and must stay silent.
+    if ctx.kind == FileKind::Lib
+        || (ctx.kind == FileKind::Bench
+            && !path.contains("/src/bin/")
+            && !path.contains("/benches/"))
+    {
+        stray_print(path, &code, &live, &mut v);
     }
     float_eq(path, &code, &live, &mut v);
     silent_clamp(path, &code, &live, &mut v);
@@ -427,6 +441,34 @@ fn panic_in_lib(
                 tok,
                 format!(
                     "`{}` in library code; return a typed error or justify the invariant",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// `stray-print`: ad-hoc console output in library code bypasses the
+/// observability layer — it interleaves nondeterministically under
+/// parallel execution, corrupts machine-read stdout (the bench JSON
+/// contract), and cannot be captured or diffed. Library code returns its
+/// text or records a trace event; only binary targets own stdout.
+fn stray_print(path: &str, code: &[&Token], live: &dyn Fn(&Token) -> bool, v: &mut Vec<Violation>) {
+    const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+    for (i, tok) in code.iter().enumerate() {
+        if !live(tok) || tok.kind != TokKind::Ident {
+            continue;
+        }
+        if PRINT_MACROS.contains(&tok.text.as_str())
+            && code.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            report(
+                v,
+                "stray-print",
+                path,
+                tok,
+                format!(
+                    "`{}!` in library code; return the text, record a trace event, or justify",
                     tok.text
                 ),
             );

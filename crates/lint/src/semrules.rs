@@ -6,9 +6,9 @@
 //!   transitively reach a panic site (justified ones included) must carry
 //!   a `# Panics` doc section or a justified allow.
 //! - `unscoped-parallelism` — `std::thread` / `Atomic*` / `Mutex` /
-//!   `RwLock` and friends are confined to the two audited seams
-//!   (`core::experiment`, `qn::matfree`), keeping the
-//!   bit-identical-per-worker-count property reviewable in two files.
+//!   `RwLock` and friends are confined to the three audited seams
+//!   (`core::experiment`, `qn::matfree`, `obs::recorder`), keeping the
+//!   bit-identical-per-worker-count property reviewable in three files.
 //! - `swallowed-result` — `let _ =` bindings and statement-level `.ok()`
 //!   calls that discard the `Result` of a workspace function in lib code.
 //! - `seed-provenance` — the dataflow upgrade of `raw-rng`: a function
@@ -29,8 +29,12 @@ use crate::model::WorkspaceModel;
 use crate::parser::Visibility;
 use crate::rules::Violation;
 
-/// The two sanctioned parallelism seams, as (crate_dir, top module).
-pub const PARALLEL_SEAMS: &[(&str, &str)] = &[("core", "experiment"), ("qn", "matfree")];
+/// The three sanctioned parallelism seams, as (crate_dir, top module).
+pub const PARALLEL_SEAMS: &[(&str, &str)] = &[
+    ("core", "experiment"),
+    ("qn", "matfree"),
+    ("obs", "recorder"),
+];
 
 /// Identifier names that signal shared-state parallelism.
 const PARALLEL_TYPES: &[&str] = &[
@@ -130,7 +134,7 @@ fn unscoped_parallelism(model: &WorkspaceModel, v: &mut Vec<Violation>) {
                     line: tok.line,
                     col: tok.col,
                     message: format!(
-                        "`{text}` outside the sanctioned parallelism seams (core::experiment, qn::matfree)"
+                        "`{text}` outside the sanctioned parallelism seams (core::experiment, qn::matfree, obs::recorder)"
                     ),
                 });
             }

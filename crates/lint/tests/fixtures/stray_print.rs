@@ -1,0 +1,26 @@
+// Fixture: `stray-print`. Console macros in library code bypass the
+// observability layer; only binary targets own stdout.
+
+pub fn narrates(x: u64) -> u64 {
+    println!("solving {x}"); // line 5: println! fires
+    eprintln!("warning");    // line 6: eprintln! fires
+    dbg!(x)                  // line 7: dbg! fires
+}
+
+pub fn justified(x: u64) -> u64 {
+    // burstcap-lint: allow(stray-print) — fixture: sanctioned narration
+    println!("solving {x}");
+    x
+}
+
+pub fn silent(x: u64) -> String {
+    format!("solving {x}") // returning the text is the clean idiom
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_test_region() {
+        println!("tests may narrate");
+    }
+}

@@ -113,6 +113,22 @@ fn silent_clamp_fixture() {
 }
 
 #[test]
+fn stray_print_fixture() {
+    let src = include_str!("fixtures/stray_print.rs");
+    let got = rules_at("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        got,
+        vec![("stray-print", 5), ("stray-print", 6), ("stray-print", 7),]
+    );
+    // The bench *lib* is library code for this rule; bench bins, other
+    // bins, and examples own stdout and are exempt.
+    assert_eq!(rules_at("crates/bench/src/fixture.rs", src).len(), 3);
+    assert!(rules_at("crates/bench/src/bin/tool.rs", src).is_empty());
+    assert!(rules_at("crates/core/src/bin/tool.rs", src).is_empty());
+    assert!(rules_at("examples/fixture.rs", src).is_empty());
+}
+
+#[test]
 fn bare_allow_fixture() {
     let src = include_str!("fixtures/bare_allow.rs");
     let got = rules_at("crates/core/src/fixture.rs", src);

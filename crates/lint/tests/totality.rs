@@ -62,13 +62,14 @@ fn per_crate_item_and_fn_counts_match_snapshot() {
     // actually added or removed — re-pin the counts. A drift with no
     // corresponding source change means the parser started dropping items.
     let expected = vec![
-        "bench: 250 items, 92 fns",
-        "core: 128 items, 118 fns",
-        "lint: 238 items, 160 fns",
+        "bench: 270 items, 98 fns",
+        "core: 130 items, 121 fns",
+        "lint: 240 items, 162 fns",
         "map: 209 items, 176 fns",
-        "online: 117 items, 79 fns",
-        "qn: 215 items, 208 fns",
-        "root: 149 items, 44 fns",
+        "obs: 65 items, 49 fns",
+        "online: 128 items, 88 fns",
+        "qn: 232 items, 222 fns",
+        "root: 150 items, 44 fns",
         "seeds: 20 items, 6 fns",
         "sim: 146 items, 122 fns",
         "stats: 267 items, 212 fns",

@@ -1,0 +1,180 @@
+//! Aggregated metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! Metrics complement the event stream: a per-window counter increment or
+//! a per-sweep residual observation would bloat the trace as events, so
+//! they aggregate in place and the [recorder](crate::recorder::Recorder)
+//! exports the final state alongside the events. Histogram bucket layouts
+//! are **fixed at compile time** ([`BucketLayout`]) — every export of the
+//! same metric has the same bucket lines, which is what makes the JSON
+//! grep-diffable across runs and configurations.
+
+use std::fmt::Write as _;
+
+use crate::event::escape;
+
+/// A fixed histogram bucket layout: upper bounds in strictly increasing
+/// order, with an implicit `+inf` overflow bucket appended on export.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketLayout {
+    /// Inclusive upper bounds (`value <= bound` lands in the bucket), in
+    /// strictly increasing order.
+    pub bounds: &'static [f64],
+}
+
+/// Residual magnitudes, one bucket per decade: covers everything between
+/// "converged past the tightest tolerance" (1e-14) and "diverging" (1.0).
+pub const RESIDUAL_DECADES: BucketLayout = BucketLayout {
+    bounds: &[1e-14, 1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0],
+};
+
+/// Iteration/sweep counts, one bucket per power of four up to the solver
+/// iteration budgets (4^9 ≈ 262k > the 400k GS budget lands in overflow).
+pub const SWEEP_POWERS: BucketLayout = BucketLayout {
+    bounds: &[
+        1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+    ],
+};
+
+impl BucketLayout {
+    /// Index of the bucket `value` falls into (`bounds.len()` = overflow).
+    #[must_use]
+    pub fn bucket_of(&self, value: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len())
+    }
+}
+
+/// One aggregated metric cell, keyed by name in the recorder's registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotone counter.
+    Counter(u64),
+    /// A last-value-wins gauge.
+    Gauge(f64),
+    /// A fixed-layout histogram: per-bucket counts plus count/sum.
+    Histogram {
+        /// The compile-time bucket layout observations are binned into.
+        layout: BucketLayout,
+        /// One count per layout bound, plus the trailing overflow bucket.
+        counts: Vec<u64>,
+        /// Total number of observations.
+        total: u64,
+        /// Sum of all observed values.
+        sum: f64,
+    },
+}
+
+impl Metric {
+    /// A fresh histogram cell for `layout`.
+    #[must_use]
+    pub fn histogram(layout: BucketLayout) -> Metric {
+        Metric::Histogram {
+            counts: vec![0; layout.bounds.len() + 1],
+            layout,
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Render this metric as a one-field-per-line JSON object at `indent`
+    /// 2-space levels, with its registry `name` inlined.
+    pub(crate) fn render_into(&self, name: &str, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        out.push_str("{\n");
+        let _ = writeln!(out, "{pad}\"name\": \"{}\",", escape(name));
+        match self {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "{pad}\"type\": \"counter\",");
+                let _ = writeln!(out, "{pad}\"value\": {v}");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "{pad}\"type\": \"gauge\",");
+                let _ = writeln!(out, "{pad}\"value\": {v:?}");
+            }
+            Metric::Histogram {
+                layout,
+                counts,
+                total,
+                sum,
+            } => {
+                let _ = writeln!(out, "{pad}\"type\": \"histogram\",");
+                let _ = writeln!(out, "{pad}\"count\": {total},");
+                let _ = writeln!(out, "{pad}\"sum\": {sum:?},");
+                for (bound, count) in layout.bounds.iter().zip(counts) {
+                    let _ = writeln!(out, "{pad}\"le_{bound:?}\": {count},");
+                }
+                let overflow = counts.last().copied().unwrap_or(0);
+                let _ = writeln!(out, "{pad}\"le_inf\": {overflow}");
+            }
+        }
+        out.push_str(&"  ".repeat(indent));
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_bins_inclusively_with_overflow() {
+        let layout = BucketLayout {
+            bounds: &[1.0, 10.0],
+        };
+        assert_eq!(layout.bucket_of(0.5), 0);
+        assert_eq!(layout.bucket_of(1.0), 0, "bounds are inclusive");
+        assert_eq!(layout.bucket_of(5.0), 1);
+        assert_eq!(layout.bucket_of(100.0), 2, "overflow bucket");
+        assert_eq!(layout.bucket_of(f64::NAN), 2, "NaN lands in overflow");
+    }
+
+    #[test]
+    fn standard_layouts_are_strictly_increasing() {
+        for layout in [RESIDUAL_DECADES, SWEEP_POWERS] {
+            for pair in layout.bounds.windows(2) {
+                assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_renders_fixed_bucket_lines() {
+        let mut m = Metric::histogram(RESIDUAL_DECADES);
+        if let Metric::Histogram {
+            layout,
+            counts,
+            total,
+            sum,
+        } = &mut m
+        {
+            for v in [1e-13, 1e-13, 0.5, 7.0] {
+                counts[layout.bucket_of(v)] += 1;
+                *total += 1;
+                *sum += v;
+            }
+        }
+        let mut out = String::new();
+        m.render_into("qn.residual", &mut out, 0);
+        assert!(out.contains("\"le_1e-12\": 2"));
+        assert!(out.contains("\"le_1.0\": 1"));
+        assert!(out.contains("\"le_inf\": 1"));
+        assert!(out.contains("\"count\": 4"));
+        // The bucket line set is the layout, not the data: zero buckets
+        // still render, so two exports always diff line-for-line.
+        for bound in RESIDUAL_DECADES.bounds {
+            assert!(out.contains(&format!("\"le_{bound:?}\"")));
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let mut out = String::new();
+        Metric::Counter(5).render_into("c", &mut out, 0);
+        assert!(out.contains("\"value\": 5"));
+        out.clear();
+        Metric::Gauge(2.5).render_into("g", &mut out, 0);
+        assert!(out.contains("\"value\": 2.5"));
+    }
+}

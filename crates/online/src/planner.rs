@@ -26,6 +26,7 @@ use burstcap::planner::{fit_characterization, Prediction};
 use burstcap::report::{OnlineReport, OnlineTierStatus};
 use burstcap::PlanError;
 use burstcap_map::fit::FittedMap2;
+use burstcap_obs::Trace;
 use burstcap_qn::mapqn::{MapNetwork, AUTO_MATFREE_THRESHOLD};
 use burstcap_qn::QnError;
 
@@ -187,6 +188,12 @@ pub struct OnlinePlanner {
     pi: Option<Vec<f64>>,
     prediction: Option<Prediction>,
     stats: SolveStats,
+    /// Observability handle (`Trace::noop` by default): the planner emits
+    /// `online.*` events — alarms with their CUSUM statistic, estimator
+    /// resets, replanning ticks, re-fits with the solve diagnostics — plus
+    /// an `online.windows` counter. Everything emitted is a pure function
+    /// of the window stream, so a recorded trace is replay-deterministic.
+    trace: Trace,
 }
 
 impl OnlinePlanner {
@@ -235,7 +242,23 @@ impl OnlinePlanner {
             pi: None,
             prediction: None,
             stats: SolveStats::default(),
+            trace: Trace::noop(),
         })
+    }
+
+    /// Attach an observability handle: subsequent ingestion emits
+    /// `online.*` events and counters through it (see the field docs). Use
+    /// `Trace::noop()` to detach. Builder-style variant:
+    /// [`OnlinePlanner::with_trace`].
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// [`OnlinePlanner::set_trace`] as a builder step.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Ingest one monitoring window. Returns a report on replanning ticks
@@ -262,8 +285,9 @@ impl OnlinePlanner {
             });
         }
         self.window += 1;
+        self.trace.add("online.windows", 1);
         let mut alarm_now = false;
-        for (tier, sample) in self.tiers.iter_mut().zip(&window.tiers) {
+        for (index, (tier, sample)) in self.tiers.iter_mut().zip(&window.tiers).enumerate() {
             tier.estimator.push(sample)?;
             // The detector pauses while a regime re-fit is pending: the
             // alarm is already being acted upon, and re-alarming would only
@@ -276,6 +300,14 @@ impl OnlinePlanner {
                 if tier.detector.update(x) {
                     tier.alarmed = true;
                     alarm_now = true;
+                    self.trace.event(
+                        "online.alarm",
+                        vec![
+                            ("window", self.window.into()),
+                            ("tier", index.into()),
+                            ("cusum", tier.detector.statistic().into()),
+                        ],
+                    );
                 }
             }
         }
@@ -285,9 +317,16 @@ impl OnlinePlanner {
             // so the descriptors re-learn, and re-arm the detector on the
             // new regime. Prediction keeps serving from the last good model
             // until the fresh estimates mature.
-            for tier in self.tiers.iter_mut().filter(|t| t.alarmed) {
+            for (index, tier) in self.tiers.iter_mut().enumerate() {
+                if !tier.alarmed {
+                    continue;
+                }
                 tier.estimator = TierEstimator::new(self.resolution, self.options.estimator);
                 tier.detector.reset();
+                self.trace.event(
+                    "online.reset",
+                    vec![("window", self.window.into()), ("tier", index.into())],
+                );
             }
             self.refit_pending = true;
             self.stats.regime_changes += 1;
@@ -310,6 +349,25 @@ impl OnlinePlanner {
     /// One replanning tick: refresh descriptors, decide whether to re-fit,
     /// and assemble the report.
     fn replan(&mut self, alarm_now: bool) -> Result<Option<OnlineReport>, OnlineError> {
+        self.trace.event(
+            "online.tick",
+            vec![("window", self.window.into()), ("alarm", alarm_now.into())],
+        );
+        // The per-tier CUSUM state, sampled at tick cadence (per-window
+        // emission would dominate the trace for no diagnostic value).
+        if self.trace.is_enabled() {
+            for (index, tier) in self.tiers.iter().enumerate() {
+                self.trace.event(
+                    "online.cusum",
+                    vec![
+                        ("window", self.window.into()),
+                        ("tier", index.into()),
+                        ("statistic", tier.detector.statistic().into()),
+                        ("warmup", tier.detector.in_warmup().into()),
+                    ],
+                );
+            }
+        }
         // Refresh what can be refreshed; recently reset tiers keep their
         // last known characterization until the new stream matures.
         let mut fresh: Vec<Option<ServiceCharacterization>> = Vec::with_capacity(self.tiers.len());
@@ -417,9 +475,9 @@ impl OnlinePlanner {
         // to the matrix-free crossover, the matrix-free parallel engine
         // above it (where the CSR arrays would dominate memory).
         let attempt = if net.state_count() > AUTO_MATFREE_THRESHOLD {
-            net.solve_matrix_free_with_initial(0, guess.clone())
+            net.solve_matrix_free_with_initial_traced(0, guess.clone(), &self.trace)
         } else {
-            net.solve_sparse_with_initial(guess.clone())
+            net.solve_sparse_with_initial_traced(guess.clone(), &self.trace)
         };
         let solution = match attempt {
             Ok((solution, pi)) => {
@@ -440,6 +498,16 @@ impl OnlinePlanner {
             }
             Err(e) => return Err(e.into()),
         };
+        self.trace.event(
+            "online.refit",
+            vec![
+                ("window", self.window.into()),
+                ("warm", warm.into()),
+                ("engine", solution.diagnostics.engine.label().into()),
+                ("sweeps", solution.diagnostics.iterations.into()),
+                ("fell_back", solution.diagnostics.fell_back.into()),
+            ],
+        );
         self.prediction = Some(Prediction::from((self.options.population, solution)));
         self.fits = fits;
         self.fitted_chars = chars;

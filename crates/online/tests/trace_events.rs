@@ -1,0 +1,132 @@
+//! Online-pipeline trace tests: the planner's event stream across a regime
+//! shift is pinned exactly, and the deterministic export is byte-stable
+//! across repeat runs — the trace is a pure function of the window stream.
+
+use burstcap_obs::{EventKind, FieldValue, Recorder};
+use burstcap_online::detector::CusumOptions;
+use burstcap_online::{MonitorWindow, OnlinePlanner, OnlinePlannerOptions, TierSample};
+
+fn window(front: (f64, u64), db: (f64, u64)) -> MonitorWindow {
+    MonitorWindow {
+        tiers: vec![
+            TierSample {
+                utilization: front.0,
+                completions: front.1,
+            },
+            TierSample {
+                utilization: db.0,
+                completions: db.1,
+            },
+        ],
+    }
+}
+
+fn quick_options() -> OnlinePlannerOptions {
+    let mut options = OnlinePlannerOptions::new(20, 0.5);
+    options.min_windows = 120;
+    options.replan_every = 20;
+    options.detector = CusumOptions {
+        warmup_windows: 30,
+        slack: 0.25,
+        threshold: 6.0,
+    };
+    options
+}
+
+/// Drive the injected-shift scenario (400 stable windows, then a 3x db
+/// demand shift) through a traced planner and return the recorder.
+fn shift_run() -> Recorder {
+    let recorder = Recorder::new();
+    let mut planner = OnlinePlanner::new(5.0, 2, quick_options())
+        .unwrap()
+        .with_trace(recorder.trace());
+    let stable = window((0.5, 250), (0.25, 250));
+    let shifted = window((0.5, 250), (0.75, 250));
+    for k in 0..900 {
+        let w = if k < 400 { &stable } else { &shifted };
+        planner.ingest(w).unwrap();
+    }
+    recorder
+}
+
+fn field_u64(fields: &[(&'static str, FieldValue)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match v {
+        FieldValue::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn field_bool(fields: &[(&'static str, FieldValue)], key: &str) -> Option<bool> {
+    fields.iter().find_map(|(k, v)| match v {
+        FieldValue::Bool(b) if *k == key => Some(*b),
+        _ => None,
+    })
+}
+
+#[test]
+fn regime_shift_event_sequence_is_pinned() {
+    let recorder = shift_run();
+    // The lifecycle events (alarm / reset / refit), in emission order.
+    let lifecycle: Vec<(String, Option<u64>, Option<bool>)> = recorder
+        .events()
+        .iter()
+        .filter(|e| matches!(e.name, "online.alarm" | "online.reset" | "online.refit"))
+        .map(|e| {
+            (
+                e.name.to_owned(),
+                field_u64(&e.fields, "tier"),
+                field_bool(&e.fields, "warm"),
+            )
+        })
+        .collect();
+    // Exactly four lifecycle events: the cold first fit once estimators
+    // mature, the CUSUM alarm on the shifted db tier, that tier's
+    // estimator reset, and the warm post-shift re-fit.
+    assert_eq!(
+        lifecycle,
+        vec![
+            ("online.refit".to_owned(), None, Some(false)),
+            ("online.alarm".to_owned(), Some(1), None),
+            ("online.reset".to_owned(), Some(1), None),
+            ("online.refit".to_owned(), None, Some(true)),
+        ],
+        "full lifecycle: {lifecycle:?}"
+    );
+    // The alarm fires shortly after the shift at window 400.
+    let alarm = recorder
+        .events()
+        .into_iter()
+        .find(|e| e.name == "online.alarm")
+        .unwrap();
+    let w = field_u64(&alarm.fields, "window").unwrap();
+    assert!((400..440).contains(&w), "alarm at window {w}");
+    // Ticks carry the CUSUM statistic for both tiers on every replan.
+    let ticks = recorder
+        .events()
+        .iter()
+        .filter(|e| e.name == "online.tick")
+        .count();
+    let cusums = recorder
+        .events()
+        .iter()
+        .filter(|e| e.name == "online.cusum")
+        .count();
+    assert!(ticks > 0);
+    assert_eq!(cusums, 2 * ticks, "two cusum samples per tick");
+    // The solver spans nested under the planner's refits made it into the
+    // same recorder: two refits, each one qn.solve span.
+    let solves = recorder
+        .events()
+        .iter()
+        .filter(|e| e.name == "qn.solve" && e.kind == EventKind::SpanStart)
+        .count();
+    assert_eq!(solves, 2, "one traced solve per refit");
+}
+
+#[test]
+fn repeat_runs_export_byte_identical_logs() {
+    let a = shift_run();
+    let b = shift_run();
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    assert_eq!(a.full_json(), b.full_json());
+}

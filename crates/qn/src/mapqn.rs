@@ -51,6 +51,7 @@
 use serde::{Deserialize, Serialize};
 
 use burstcap_map::Map2;
+use burstcap_obs::Trace;
 
 use crate::csr::CsrMatrix;
 use crate::ctmc::{Ctmc, SparseMethod, SteadyStateMethod};
@@ -89,14 +90,65 @@ pub enum SolveEngine {
     MatrixFree,
 }
 
+impl SolveEngine {
+    /// Stable lowercase label used in trace events and JSON artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveEngine::Direct => "direct",
+            SolveEngine::DenseLu => "dense_lu",
+            SolveEngine::SparseCsr => "sparse_csr",
+            SolveEngine::MatrixFree => "matrix_free",
+        }
+    }
+}
+
+/// Iterations attributed to each engine tier over the course of one solve,
+/// **including stalled attempts**: when an iterative engine exhausts its
+/// budget and a fallback produces the answer, the stalled sweeps are real
+/// work that `iterations` (which describes the answering engine only) no
+/// longer shows. The per-tier split keeps that cost visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineSweeps {
+    /// Direct level-reduction (non-iterative: always `0` sweeps — the entry
+    /// records that the tier ran via [`SolveDiagnostics::engine`]).
+    pub direct: usize,
+    /// Dense LU oracle (non-iterative: always `0` sweeps).
+    pub dense_lu: usize,
+    /// CSR Gauss-Seidel / uniformized power sweeps.
+    pub sparse_csr: usize,
+    /// Matrix-free Jacobi / power sweeps.
+    pub matrix_free: usize,
+}
+
+impl EngineSweeps {
+    /// Attribute `sweeps` iterations to `engine` (additive: a retry after a
+    /// stall accumulates on top of the stalled attempt).
+    pub(crate) fn tally(&mut self, engine: SolveEngine, sweeps: usize) {
+        match engine {
+            SolveEngine::Direct => self.direct += sweeps,
+            SolveEngine::DenseLu => self.dense_lu += sweeps,
+            SolveEngine::SparseCsr => self.sparse_csr += sweeps,
+            SolveEngine::MatrixFree => self.matrix_free += sweeps,
+        }
+    }
+
+    fn of(engine: SolveEngine, sweeps: usize) -> Self {
+        let mut s = EngineSweeps::default();
+        s.tally(engine, sweeps);
+        s
+    }
+}
+
 /// How a solve actually ran: which engine produced the answer, how many
-/// sweeps it took, and whether an iterative attempt stalled first.
+/// sweeps it took, how converged it finished, and whether an iterative
+/// attempt stalled first.
 ///
 /// Every [`MapQnSolution`] carries one of these so callers such as
 /// `OnlinePlanner` and the bench can distinguish a warm solve that converged
 /// from one that silently fell back to the (cold, slower) direct engine —
 /// previously both looked identical and timings were misattributed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SolveDiagnostics {
     /// Engine that produced the returned metrics.
     pub engine: SolveEngine,
@@ -105,15 +157,32 @@ pub struct SolveDiagnostics {
     /// `true` when an iterative attempt stalled and a fallback engine
     /// produced the answer instead.
     pub fell_back: bool,
+    /// Scale-free residual at the accepting check of the answering engine;
+    /// `0.0` for direct methods (exact to machine precision).
+    pub final_residual: f64,
+    /// Sweeps attributed per engine tier, stalled attempts included.
+    pub sweeps_per_engine: EngineSweeps,
+    /// Id of the `qn.solve` / `qn.solve_auto` span this solve ran under in
+    /// a recorded trace (`burstcap_obs`), linking the solution to its span
+    /// tree; `0` when the solve was untraced.
+    pub trace_id: u64,
 }
 
 impl SolveDiagnostics {
     /// Diagnostics of a first-try direct solve (no iterations, no fallback).
     pub(crate) fn direct() -> Self {
+        Self::of_engine(SolveEngine::Direct, 0, 0.0)
+    }
+
+    /// Diagnostics of a single-engine run that did not fall back.
+    pub(crate) fn of_engine(engine: SolveEngine, iterations: usize, final_residual: f64) -> Self {
         SolveDiagnostics {
-            engine: SolveEngine::Direct,
-            iterations: 0,
+            engine,
+            iterations,
             fell_back: false,
+            final_residual,
+            sweeps_per_engine: EngineSweeps::of(engine, iterations),
+            trace_id: 0,
         }
     }
 }
@@ -885,11 +954,11 @@ impl MapNetwork {
         let run = chain.steady_state_run(method, None)?;
         Ok(self
             .metrics_from_flat(&idx, &run.pi)
-            .with_diagnostics(SolveDiagnostics {
+            .with_diagnostics(SolveDiagnostics::of_engine(
                 engine,
-                iterations: run.iterations,
-                fell_back: false,
-            }))
+                run.iterations,
+                run.final_residual,
+            )))
     }
 
     /// Solve via the sparse engine with production tuning: Gauss-Seidel at a
@@ -973,7 +1042,38 @@ impl MapNetwork {
         &self,
         guess: Option<Vec<f64>>,
     ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
+        self.solve_sparse_with_initial_traced(guess, &Trace::noop())
+    }
+
+    /// [`MapNetwork::solve_sparse_with_initial`] with observability: opens
+    /// a `qn.solve` span on `trace` (whose id lands in
+    /// [`SolveDiagnostics::trace_id`]) and lets the CSR engine emit its
+    /// decimated `ctmc.sweep` residual trajectory inside it. Pass
+    /// [`Trace::noop`] — or call the untraced entry point — to observe
+    /// nothing at near-zero cost.
+    ///
+    /// # Errors
+    /// As [`MapNetwork::solve_sparse_with_initial`].
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/qn/src/ctmc.rs:520`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
+    pub fn solve_sparse_with_initial_traced(
+        &self,
+        guess: Option<Vec<f64>>,
+        trace: &Trace,
+    ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
         self.check_state_limit()?;
+        let span = trace.span_with(
+            "qn.solve",
+            vec![
+                ("engine", "sparse_csr".into()),
+                ("states", self.state_count().into()),
+                ("population", self.population.into()),
+            ],
+        );
         let idx = self.indexer()?;
         let chain = Ctmc::from_outgoing_csr(self.outgoing_csr()?)?;
         // omega < 1: plain Gauss-Seidel limit-cycles on these QBD chains
@@ -983,14 +1083,13 @@ impl MapNetwork {
             tol: 1e-12,
             max_iter: 400_000,
         });
-        let run = chain.steady_state_run(method, guess)?;
+        let run = chain.steady_state_run_traced(method, guess, trace)?;
+        let mut diagnostics =
+            SolveDiagnostics::of_engine(SolveEngine::SparseCsr, run.iterations, run.final_residual);
+        diagnostics.trace_id = span.id();
         let solution = self
             .metrics_from_flat(&idx, &run.pi)
-            .with_diagnostics(SolveDiagnostics {
-                engine: SolveEngine::SparseCsr,
-                iterations: run.iterations,
-                fell_back: false,
-            });
+            .with_diagnostics(diagnostics);
         Ok((solution, run.pi))
     }
 
@@ -1056,16 +1155,51 @@ impl MapNetwork {
         workers: usize,
         guess: Option<Vec<f64>>,
     ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
+        self.solve_matrix_free_with_initial_traced(workers, guess, &Trace::noop())
+    }
+
+    /// [`MapNetwork::solve_matrix_free_with_initial`] with observability:
+    /// opens a `qn.solve` span on `trace` (whose id lands in
+    /// [`SolveDiagnostics::trace_id`]) and lets the matrix-free engine emit
+    /// its decimated `matfree.sweep` trajectory inside it. The recorded
+    /// deterministic trace is **byte-identical across worker counts** —
+    /// worker-dependent detail (partition shapes) goes out as volatile
+    /// events only; see [`crate::matfree::steady_state_traced`].
+    ///
+    /// # Errors
+    /// As [`MapNetwork::solve_matrix_free_with_initial`].
+    pub fn solve_matrix_free_with_initial_traced(
+        &self,
+        workers: usize,
+        guess: Option<Vec<f64>>,
+        trace: &Trace,
+    ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
+        let span = trace.span_with(
+            "qn.solve",
+            vec![
+                ("engine", "matrix_free".into()),
+                ("states", self.state_count().into()),
+                ("population", self.population.into()),
+            ],
+        );
         let op = self.matrix_free()?;
-        let run = crate::matfree::steady_state(&op, MatFreeMethod::default(), workers, guess)?;
+        let run = crate::matfree::steady_state_traced(
+            &op,
+            MatFreeMethod::default(),
+            workers,
+            guess,
+            trace,
+        )?;
         let idx = self.indexer()?;
+        let mut diagnostics = SolveDiagnostics::of_engine(
+            SolveEngine::MatrixFree,
+            run.iterations,
+            run.final_residual,
+        );
+        diagnostics.trace_id = span.id();
         let solution = self
             .metrics_from_flat(&idx, &run.pi)
-            .with_diagnostics(SolveDiagnostics {
-                engine: SolveEngine::MatrixFree,
-                iterations: run.iterations,
-                fell_back: false,
-            });
+            .with_diagnostics(diagnostics);
         Ok((solution, run.pi))
     }
 
@@ -1074,8 +1208,17 @@ impl MapNetwork {
     fn solve_sparse_bounded(
         &self,
         guess: Option<Vec<f64>>,
+        trace: &Trace,
     ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
         self.check_state_limit()?;
+        let span = trace.span_with(
+            "qn.solve",
+            vec![
+                ("engine", "sparse_csr".into()),
+                ("states", self.state_count().into()),
+                ("population", self.population.into()),
+            ],
+        );
         let idx = self.indexer()?;
         let chain = Ctmc::from_outgoing_csr(self.outgoing_csr()?)?;
         let method = SteadyStateMethod::Sparse(SparseMethod::GaussSeidel {
@@ -1083,14 +1226,13 @@ impl MapNetwork {
             tol: 1e-10,
             max_iter: 40_000,
         });
-        let run = chain.steady_state_run(method, guess)?;
+        let run = chain.steady_state_run_traced(method, guess, trace)?;
+        let mut diagnostics =
+            SolveDiagnostics::of_engine(SolveEngine::SparseCsr, run.iterations, run.final_residual);
+        diagnostics.trace_id = span.id();
         let solution = self
             .metrics_from_flat(&idx, &run.pi)
-            .with_diagnostics(SolveDiagnostics {
-                engine: SolveEngine::SparseCsr,
-                iterations: run.iterations,
-                fell_back: false,
-            });
+            .with_diagnostics(diagnostics);
         Ok((solution, run.pi))
     }
 
@@ -1159,25 +1301,81 @@ impl MapNetwork {
         sparse_above_states: usize,
         guess: Option<Vec<f64>>,
     ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
+        self.solve_auto_traced(sparse_above_states, guess, &Trace::noop())
+    }
+
+    /// [`MapNetwork::solve_auto_with_initial`] with observability: opens a
+    /// `qn.solve_auto` span on `trace`, emits one `qn.engine` event for the
+    /// tier the state count selects and a `qn.fallback` event whenever an
+    /// iterative attempt stalls (carrying the sweeps the stalled attempt
+    /// burned), and lets the engines emit their residual trajectories
+    /// inside the span. [`SolveDiagnostics::trace_id`] links the returned
+    /// solution to the span tree; [`SolveDiagnostics::sweeps_per_engine`]
+    /// attributes every sweep — stalled attempts included — to the engine
+    /// that performed it. Pass [`Trace::noop`] (or call the untraced entry
+    /// point) to observe nothing at near-zero cost.
+    ///
+    /// # Errors
+    /// As [`MapNetwork::solve_auto_with_initial`].
+    ///
+    /// # Panics
+    ///
+    /// Only if a justified internal invariant is violated (1 reachable
+    /// panic site, e.g. `crates/qn/src/ctmc.rs:520`; `burstcap-lint report` lists them),
+    /// never for inputs this API accepts.
+    pub fn solve_auto_traced(
+        &self,
+        sparse_above_states: usize,
+        guess: Option<Vec<f64>>,
+        trace: &Trace,
+    ) -> Result<(MapQnSolution, Vec<f64>), QnError> {
         let states = self.state_count();
+        let span = trace.span_with(
+            "qn.solve_auto",
+            vec![
+                ("states", states.into()),
+                ("population", self.population.into()),
+                ("stations", self.stations.len().into()),
+            ],
+        );
         if states <= sparse_above_states {
-            return self.solve_with_initial(guess);
+            trace.event(
+                "qn.engine",
+                vec![("engine", "direct".into()), ("tier", 1_u64.into())],
+            );
+            let (mut sol, pi) = self.solve_with_initial(guess)?;
+            sol.diagnostics.trace_id = span.id();
+            return Ok((sol, pi));
         }
         if states <= AUTO_MATFREE_THRESHOLD.max(sparse_above_states) {
             // Tier 2: bounded sparse attempt; a stall (fitted bursty MAPs
             // with phase persistence close to 1 make the chain nearly
             // completely decomposable) falls back to the direct solver.
-            return match self.solve_sparse_bounded(guess.clone()) {
-                Err(QnError::NoConvergence { .. }) => {
+            trace.event(
+                "qn.engine",
+                vec![("engine", "sparse_csr".into()), ("tier", 2_u64.into())],
+            );
+            return match self.solve_sparse_bounded(guess.clone(), trace) {
+                Err(QnError::NoConvergence {
+                    iterations: stalled,
+                    ..
+                }) => {
+                    trace.event(
+                        "qn.fallback",
+                        vec![
+                            ("from", "sparse_csr".into()),
+                            ("to", "direct".into()),
+                            ("stalled_sweeps", stalled.into()),
+                        ],
+                    );
                     let (sol, pi) = self.solve_with_initial(guess)?;
-                    Ok((
-                        sol.with_diagnostics(SolveDiagnostics {
-                            engine: SolveEngine::Direct,
-                            iterations: 0,
-                            fell_back: true,
-                        }),
-                        pi,
-                    ))
+                    let mut diagnostics = SolveDiagnostics::direct();
+                    diagnostics.fell_back = true;
+                    diagnostics
+                        .sweeps_per_engine
+                        .tally(SolveEngine::SparseCsr, stalled);
+                    diagnostics.trace_id = span.id();
+                    Ok((sol.with_diagnostics(diagnostics), pi))
                 }
                 other => other,
             };
@@ -1185,10 +1383,28 @@ impl MapNetwork {
         // Tier 3: matrix-free parallel sweep; a stall falls back to the
         // full-budget CSR sweep (the direct solver's dense level blocks are
         // infeasible at this scale).
-        match self.solve_matrix_free_with_initial(0, guess.clone()) {
-            Err(QnError::NoConvergence { .. }) => {
-                let (mut sol, pi) = self.solve_sparse_with_initial(guess)?;
+        trace.event(
+            "qn.engine",
+            vec![("engine", "matrix_free".into()), ("tier", 3_u64.into())],
+        );
+        match self.solve_matrix_free_with_initial_traced(0, guess.clone(), trace) {
+            Err(QnError::NoConvergence {
+                iterations: stalled,
+                ..
+            }) => {
+                trace.event(
+                    "qn.fallback",
+                    vec![
+                        ("from", "matrix_free".into()),
+                        ("to", "sparse_csr".into()),
+                        ("stalled_sweeps", stalled.into()),
+                    ],
+                );
+                let (mut sol, pi) = self.solve_sparse_with_initial_traced(guess, trace)?;
                 sol.diagnostics.fell_back = true;
+                sol.diagnostics
+                    .sweeps_per_engine
+                    .tally(SolveEngine::MatrixFree, stalled);
                 Ok((sol, pi))
             }
             other => other,

@@ -45,6 +45,7 @@ use std::ops::Range;
 use serde::{Deserialize, Serialize};
 
 use burstcap_map::Map2;
+use burstcap_obs::{metrics, Trace};
 
 use crate::ctmc::Ctmc;
 use crate::mapqn::{next_occupancy, phase_of, with_phase, StateIndexer};
@@ -303,6 +304,9 @@ pub struct MatFreeRun {
     pub pi: Vec<f64>,
     /// Sweeps performed.
     pub iterations: usize,
+    /// Scale-free residual at the accepting sweep; `0.0` for the trivial
+    /// single-state chain.
+    pub final_residual: f64,
 }
 
 /// Worker count used when the caller passes `workers = 0`: the
@@ -389,6 +393,28 @@ pub fn steady_state(
     workers: usize,
     guess: Option<Vec<f64>>,
 ) -> Result<MatFreeRun, QnError> {
+    steady_state_traced(op, method, workers, guess, &Trace::noop())
+}
+
+/// [`steady_state`] with observability: opens a `matfree.solve` span on
+/// `trace`, emits decimated `matfree.sweep` events (one per power-of-two
+/// sweep plus the accepting one) and `matfree.final_residual` /
+/// `matfree.sweeps` histograms, all from the **serial** residual pass — the
+/// parallel workers emit nothing, which is what keeps the deterministic
+/// export byte-identical across worker counts (property-tested alongside
+/// the iterate equality). The worker count and row partition, which
+/// legitimately vary, go out as **volatile** `matfree.partition` events:
+/// visible in the full export, absent from the deterministic one.
+///
+/// # Errors
+/// As [`steady_state`].
+pub fn steady_state_traced(
+    op: &impl ApplyQ,
+    method: MatFreeMethod,
+    workers: usize,
+    guess: Option<Vec<f64>>,
+    trace: &Trace,
+) -> Result<MatFreeRun, QnError> {
     let n = op.n_states();
     let mut pi = match guess {
         Some(g) => {
@@ -406,6 +432,7 @@ pub fn steady_state(
         return Ok(MatFreeRun {
             pi: vec![1.0],
             iterations: 0,
+            final_residual: 0.0,
         });
     }
     let floor = 1e-12 / n as f64;
@@ -424,7 +451,31 @@ pub fn steady_state(
     let out_rate = op.exit_rates();
     // Scale-free residual target, matching the CSR engine's convention.
     let scale: f64 = out_rate.iter().sum::<f64>() / n as f64;
-    match method {
+    let solver = match method {
+        MatFreeMethod::Jacobi { .. } => "jacobi",
+        MatFreeMethod::Power { .. } => "power",
+    };
+    // The span carries nothing worker-count-dependent: the deterministic
+    // trace must be byte-identical at any worker count. The partition is
+    // reported as volatile events, which the deterministic export drops.
+    let _span = trace.span_with(
+        "matfree.solve",
+        vec![("states", n.into()), ("solver", solver.into())],
+    );
+    if trace.is_enabled() {
+        trace.volatile_event("matfree.workers", vec![("workers", workers.into())]);
+        for (w, r) in ranges.iter().enumerate() {
+            trace.volatile_event(
+                "matfree.partition",
+                vec![
+                    ("worker", w.into()),
+                    ("start", r.start.into()),
+                    ("len", r.len().into()),
+                ],
+            );
+        }
+    }
+    let run = match method {
         MatFreeMethod::Jacobi {
             omega,
             tol,
@@ -438,6 +489,7 @@ pub fn steady_state(
             }
             let mut next = vec![0.0; n];
             let mut last_residual = f64::INFINITY;
+            let mut done = None;
             for iter in 0..max_iter {
                 apply(op, &pi, &ranges, &mut next);
                 // Serial pass: the balance residual of the current iterate
@@ -456,23 +508,40 @@ pub fn steady_state(
                 }
                 std::mem::swap(&mut pi, &mut next);
                 last_residual = residual / scale;
+                // Decimated trajectory from the serial pass: one event per
+                // power-of-two sweep plus the accepting one.
+                if (iter + 1).is_power_of_two() || last_residual < tol {
+                    trace.event(
+                        "matfree.sweep",
+                        vec![
+                            ("iter", (iter + 1).into()),
+                            ("residual", last_residual.into()),
+                        ],
+                    );
+                }
                 if last_residual < tol {
-                    return Ok(MatFreeRun {
-                        pi,
-                        iterations: iter + 1,
-                    });
+                    done = Some(iter + 1);
+                    break;
                 }
             }
-            Err(QnError::NoConvergence {
-                solver: "matfree-jacobi",
-                iterations: max_iter,
-                residual: last_residual,
-            })
+            match done {
+                Some(iterations) => Ok(MatFreeRun {
+                    pi,
+                    iterations,
+                    final_residual: last_residual,
+                }),
+                None => Err(QnError::NoConvergence {
+                    solver: "matfree-jacobi",
+                    iterations: max_iter,
+                    residual: last_residual,
+                }),
+            }
         }
         MatFreeMethod::Power { tol, max_iter } => {
             let lambda = out_rate.iter().cloned().fold(0.0, f64::max) * 1.02;
             let mut next = vec![0.0; n];
             let mut last_residual = f64::INFINITY;
+            let mut done = None;
             for iter in 0..max_iter {
                 apply(op, &pi, &ranges, &mut next);
                 let mut residual = 0.0;
@@ -489,18 +558,65 @@ pub fn steady_state(
                 }
                 std::mem::swap(&mut pi, &mut next);
                 last_residual = residual / scale;
+                if (iter + 1).is_power_of_two() || last_residual < tol {
+                    trace.event(
+                        "matfree.sweep",
+                        vec![
+                            ("iter", (iter + 1).into()),
+                            ("residual", last_residual.into()),
+                        ],
+                    );
+                }
                 if last_residual < tol {
-                    return Ok(MatFreeRun {
-                        pi,
-                        iterations: iter + 1,
-                    });
+                    done = Some(iter + 1);
+                    break;
                 }
             }
-            Err(QnError::NoConvergence {
-                solver: "matfree-power",
-                iterations: max_iter,
-                residual: last_residual,
-            })
+            match done {
+                Some(iterations) => Ok(MatFreeRun {
+                    pi,
+                    iterations,
+                    final_residual: last_residual,
+                }),
+                None => Err(QnError::NoConvergence {
+                    solver: "matfree-power",
+                    iterations: max_iter,
+                    residual: last_residual,
+                }),
+            }
+        }
+    };
+    match run {
+        Ok(run) => {
+            trace.observe(
+                "matfree.final_residual",
+                metrics::RESIDUAL_DECADES,
+                run.final_residual,
+            );
+            trace.observe(
+                "matfree.sweeps",
+                metrics::SWEEP_POWERS,
+                run.iterations as f64,
+            );
+            Ok(run)
+        }
+        Err(e) => {
+            if let QnError::NoConvergence {
+                solver,
+                iterations,
+                residual,
+            } = &e
+            {
+                trace.event(
+                    "matfree.stall",
+                    vec![
+                        ("solver", (*solver).into()),
+                        ("iterations", (*iterations).into()),
+                        ("residual", (*residual).into()),
+                    ],
+                );
+            }
+            Err(e)
         }
     }
 }

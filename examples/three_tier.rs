@@ -1,7 +1,9 @@
 //! Three-tier quickstart: web + app + db through the full N-station
 //! pipeline.
 //!
-//! Run with `cargo run --example three_tier`.
+//! Run with `cargo run --example three_tier`. Set `BURSTCAP_TRACE_OUT` to a
+//! path to also write the exact solve's deterministic trace log (one JSON
+//! event per line block); CI archives that file as a build artifact.
 //!
 //! The three-tier TPC-W testbed emulates a dedicated web (HTTP) server in
 //! front of the application server and the database. Its monitoring output
@@ -13,6 +15,7 @@
 
 use burstcap::measurements::TierMeasurements;
 use burstcap::planner::{CapacityPlanner, MvaBaseline, PlannerOptions};
+use burstcap_obs::Recorder;
 use burstcap_qn::mapqn::MapNetwork;
 use burstcap_sim::queues::ClosedMapNetwork;
 use burstcap_tpcw::mix::Mix;
@@ -76,7 +79,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 4. Cross-validate the model against an independent simulation ---
     let stations: Vec<_> = planner.tier_fits().iter().map(|f| f.map()).collect();
     let pop = 40;
-    let exact = MapNetwork::tandem(pop, 0.5, stations.clone())?.solve_auto(10_000)?;
+    let recorder = Recorder::new();
+    let (exact, _pi) = MapNetwork::tandem(pop, 0.5, stations.clone())?.solve_auto_traced(
+        10_000,
+        None,
+        &recorder.trace(),
+    )?;
+    if let Some(path) = std::env::var_os("BURSTCAP_TRACE_OUT") {
+        std::fs::write(&path, recorder.deterministic_json())?;
+        println!(
+            "trace: wrote {} events to {}",
+            recorder.event_count(),
+            path.to_string_lossy()
+        );
+    }
     let sim = ClosedMapNetwork::tandem(pop, 0.5, stations)?.run(2000.0, 200.0, 7)?;
     println!(
         "\ncross-check at {pop} EBs: exact X = {:.1}, simulated X = {:.1} \
